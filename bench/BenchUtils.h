@@ -1,0 +1,107 @@
+//===- bench/BenchUtils.h - Table harness helpers ---------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-table benchmark binaries: run every pipeline
+/// over the paper suite with repeat timing, select the paper's "ten largest"
+/// rows, and print fixed-width tables shaped like the paper's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_BENCH_BENCHUTILS_H
+#define FCC_BENCH_BENCHUTILS_H
+
+#include "pipeline/Pipeline.h"
+#include "workload/KernelSuite.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fcc::bench {
+
+/// All measurements for one routine under every configuration.
+struct SuiteRow {
+  std::string Name;
+  RoutineReport Standard;
+  RoutineReport New;
+  RoutineReport Briggs;
+  RoutineReport BriggsImproved;
+};
+
+/// Repeats a compile-only pipeline run \p Repeats times and keeps the
+/// minimum time (other metrics are deterministic).
+inline RoutineReport timedRun(const RoutineSpec &Spec, PipelineKind Kind,
+                              bool Execute, unsigned Repeats) {
+  RoutineReport Best = runOnRoutine(Spec, Kind, Execute);
+  for (unsigned I = 1; I < Repeats; ++I) {
+    RoutineReport Next = runOnRoutine(Spec, Kind, Execute);
+    if (Next.Compile.TimeMicros < Best.Compile.TimeMicros) {
+      Next.Compile.CoalesceTimeMicros =
+          std::min(Next.Compile.CoalesceTimeMicros,
+                   Best.Compile.CoalesceTimeMicros);
+      Best = std::move(Next);
+    } else {
+      Best.Compile.CoalesceTimeMicros =
+          std::min(Best.Compile.CoalesceTimeMicros,
+                   Next.Compile.CoalesceTimeMicros);
+    }
+  }
+  return Best;
+}
+
+/// Runs the whole paper suite under all four configurations.
+inline std::vector<SuiteRow> runSuite(bool Execute, unsigned Repeats = 3,
+                                      unsigned TotalRoutines = 169) {
+  std::vector<SuiteRow> Rows;
+  for (const RoutineSpec &Spec : paperSuite(TotalRoutines)) {
+    SuiteRow Row;
+    Row.Name = Spec.Name;
+    Row.Standard = timedRun(Spec, PipelineKind::Standard, Execute, Repeats);
+    Row.New = timedRun(Spec, PipelineKind::New, Execute, Repeats);
+    Row.Briggs = timedRun(Spec, PipelineKind::Briggs, Execute, Repeats);
+    Row.BriggsImproved =
+        timedRun(Spec, PipelineKind::BriggsImproved, Execute, Repeats);
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+/// Keeps the \p N rows with the largest \p Key, ordered descending — the
+/// paper's "ten largest results in each experiment".
+template <typename KeyFn>
+inline std::vector<SuiteRow> topRows(std::vector<SuiteRow> Rows, KeyFn Key,
+                                     unsigned N = 10) {
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [&](const SuiteRow &A, const SuiteRow &B) {
+                     return Key(A) > Key(B);
+                   });
+  if (Rows.size() > N)
+    Rows.resize(N);
+  return Rows;
+}
+
+/// Fixed-width cell printers.
+inline void printDivider(unsigned Cols, unsigned Width = 12) {
+  for (unsigned C = 0; C != Cols; ++C)
+    for (unsigned I = 0; I != Width + 1; ++I)
+      std::putchar('-');
+  std::putchar('\n');
+}
+inline void printCell(const char *Text) { std::printf("%12s ", Text); }
+inline void printCell(const std::string &Text) {
+  std::printf("%12s ", Text.c_str());
+}
+inline void printCell(uint64_t Value) {
+  std::printf("%12llu ", static_cast<unsigned long long>(Value));
+}
+inline void printRatioCell(double Value) { std::printf("%12.2f ", Value); }
+
+/// Safe ratio (0 denominators happen for empty routines).
+inline double ratio(double Num, double Den) {
+  return Den == 0.0 ? 0.0 : Num / Den;
+}
+
+} // namespace fcc::bench
+
+#endif // FCC_BENCH_BENCHUTILS_H

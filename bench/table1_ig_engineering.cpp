@@ -1,0 +1,89 @@
+//===- bench/table1_ig_engineering.cpp ------------------------------------===//
+//
+// Reproduces Table 1 of the paper: coalescing-phase time and per-pass
+// interference-graph memory for the classic Chaitin/Briggs coalescer
+// ("Briggs") versus the improved copy-involved-only rebuilds ("Briggs*").
+// The paper reports memory savings of up to three orders of magnitude and
+// about a 2x time reduction, with identical coalescing results.
+//
+// Rows: the ten routines with the largest classic coalescing time, plus the
+// AVERAGE over the whole 169-routine suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace fcc;
+using namespace fcc::bench;
+
+int main() {
+  std::printf("Table 1: time (us) and interference-graph memory (bytes) "
+              "for the graph coalescers\n\n");
+  std::vector<SuiteRow> All = runSuite(/*Execute=*/false);
+
+  auto Pass = [](const RoutineReport &R, unsigned I) -> uint64_t {
+    return I < R.Compile.GraphBytesPerPass.size()
+               ? R.Compile.GraphBytesPerPass[I]
+               : 0;
+  };
+
+  for (const char *H : {"File", "T Briggs", "T Briggs*", "T B/B*",
+                        "Mem1 Briggs", "Mem1 Briggs*", "Mem2 Briggs",
+                        "Mem2 Briggs*", "SameResult"})
+    printCell(H);
+  std::printf("\n");
+  printDivider(9);
+
+  auto PrintRow = [&](const SuiteRow &Row) {
+    printCell(Row.Name);
+    uint64_t TB = Row.Briggs.Compile.CoalesceTimeMicros;
+    uint64_t TI = Row.BriggsImproved.Compile.CoalesceTimeMicros;
+    printCell(TB);
+    printCell(TI);
+    printRatioCell(ratio(static_cast<double>(TB), static_cast<double>(TI)));
+    printCell(Pass(Row.Briggs, 0));
+    printCell(Pass(Row.BriggsImproved, 0));
+    printCell(Pass(Row.Briggs, 1));
+    printCell(Pass(Row.BriggsImproved, 1));
+    printCell(Row.Briggs.Compile.StaticCopies ==
+                      Row.BriggsImproved.Compile.StaticCopies
+                  ? "yes"
+                  : "NO");
+    std::printf("\n");
+  };
+
+  for (const SuiteRow &Row : topRows(All, [](const SuiteRow &R) {
+         return R.Briggs.Compile.CoalesceTimeMicros;
+       }))
+    PrintRow(Row);
+
+  // Full-suite averages (the paper's AVERAGE row).
+  SuiteRow Avg;
+  Avg.Name = "AVERAGE";
+  uint64_t TB = 0, TI = 0, M1B = 0, M1I = 0, M2B = 0, M2I = 0;
+  bool AllSame = true;
+  for (const SuiteRow &Row : All) {
+    TB += Row.Briggs.Compile.CoalesceTimeMicros;
+    TI += Row.BriggsImproved.Compile.CoalesceTimeMicros;
+    M1B += Pass(Row.Briggs, 0);
+    M1I += Pass(Row.BriggsImproved, 0);
+    M2B += Pass(Row.Briggs, 1);
+    M2I += Pass(Row.BriggsImproved, 1);
+    AllSame &= Row.Briggs.Compile.StaticCopies ==
+               Row.BriggsImproved.Compile.StaticCopies;
+  }
+  unsigned N = static_cast<unsigned>(All.size());
+  printDivider(9);
+  printCell(Avg.Name);
+  printCell(TB / N);
+  printCell(TI / N);
+  printRatioCell(ratio(static_cast<double>(TB), static_cast<double>(TI)));
+  printCell(M1B / N);
+  printCell(M1I / N);
+  printCell(M2B / N);
+  printCell(M2I / N);
+  printCell(AllSame ? "yes" : "NO");
+  std::printf("\n\nExpected shape (paper): Briggs* memory is orders of "
+              "magnitude smaller,\ntime roughly halves, results identical.\n");
+  return 0;
+}

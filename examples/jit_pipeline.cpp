@@ -1,0 +1,54 @@
+//===- examples/jit_pipeline.cpp ------------------------------------------===//
+//
+// The use case the paper's introduction motivates: a JIT-style compiler
+// where conversion time is on the critical path. This example "JIT
+// compiles" the whole 169-routine suite with each conversion strategy,
+// reports throughput, and then executes the compiled code to show the
+// quality side of the trade (dynamic copies).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace fcc;
+
+int main() {
+  const PipelineKind Kinds[] = {PipelineKind::Standard, PipelineKind::New,
+                                PipelineKind::Briggs,
+                                PipelineKind::BriggsImproved};
+
+  std::printf("JIT session: compiling the 169-routine suite per strategy\n\n");
+  std::printf("%-10s %14s %14s %16s %14s\n", "strategy", "compile(us)",
+              "routines/s", "static copies", "dyn copies");
+
+  for (PipelineKind Kind : Kinds) {
+    Timer Wall;
+    uint64_t CompileMicros = 0;
+    uint64_t StaticCopies = 0, DynCopies = 0;
+    unsigned Count = 0;
+    for (const RoutineSpec &Spec : paperSuite()) {
+      RoutineReport Report = runOnRoutine(Spec, Kind, /*Execute=*/true);
+      CompileMicros += Report.Compile.TimeMicros;
+      StaticCopies += Report.Compile.StaticCopies;
+      DynCopies += Report.Exec.CopiesExecuted;
+      ++Count;
+    }
+    double PerSecond =
+        CompileMicros == 0
+            ? 0.0
+            : Count * 1e6 / static_cast<double>(CompileMicros);
+    std::printf("%-10s %14llu %14.0f %16llu %14llu\n", pipelineName(Kind),
+                static_cast<unsigned long long>(CompileMicros), PerSecond,
+                static_cast<unsigned long long>(StaticCopies),
+                static_cast<unsigned long long>(DynCopies));
+    (void)Wall;
+  }
+
+  std::printf("\nStandard converts fastest but floods the code with "
+              "copies; the paper's\nalgorithm buys near-graph-quality "
+              "copies without ever building a graph.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+//===- examples/virtual_swap.cpp ------------------------------------------===//
+//
+// Walks through Figures 3 and 4 of the paper: the virtual swap problem.
+// Two variables are assigned opposite values on the two sides of a
+// conditional; copy folding merges them into crossing phis, and a naive
+// coalescer would merge simultaneously-live names. The example shows the
+// folded SSA, the coalescer's decisions, the final code for both the
+// Standard instantiation and the New algorithm, and the dynamic copy
+// counts on both branch directions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "coalesce/FastCoalescer.h"
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ssa/SSABuilder.h"
+#include "ssa/StandardDestruction.h"
+
+#include <cstdio>
+
+using namespace fcc;
+
+// Figure 3a of the paper.
+static const char *Source = R"(
+func @virtswap(%cond) {
+entry:
+  %a = const 1
+  %b = const 2
+  cbr %cond, left, right
+left:
+  %x = copy %a
+  %y = copy %b
+  br join
+right:
+  %x = copy %b
+  %y = copy %a
+  br join
+join:
+  %q = div %x, %y
+  ret %q
+}
+)";
+
+static std::unique_ptr<Module> parseDemo() {
+  std::string Error;
+  auto M = parseModule(Source, Error);
+  if (!M) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  return M;
+}
+
+int main() {
+  std::printf("The virtual swap problem (Figures 3 and 4 of the paper)\n");
+  std::printf("== original (Figure 3a) ==\n%s\n",
+              printFunction(*parseDemo()->functions()[0]).c_str());
+
+  // Folded SSA: Figure 3b — the copies are gone, the phis cross.
+  {
+    auto M = parseDemo();
+    Function &F = *M->functions()[0];
+    splitCriticalEdges(F);
+    DominatorTree DT(F);
+    SSABuildOptions Opts;
+    Opts.FoldCopies = true;
+    buildSSA(F, DT, Opts);
+    std::printf("== SSA with copies folded (Figure 3b) ==\n%s\n",
+                printFunction(F).c_str());
+
+    Liveness LV(F);
+    FastCoalescerOptions CoalesceOpts;
+    CoalesceOpts.Trace = stdout;
+    std::printf("== the coalescer's decisions ==\n");
+    FastCoalesceStats Stats = coalesceSSA(F, DT, LV, CoalesceOpts);
+    std::printf("\n== New algorithm's output (%u copies, %u cycle temp) "
+                "==\n%s\n",
+                Stats.CopiesInserted, Stats.TempsUsed,
+                printFunction(F).c_str());
+
+    for (int64_t Cond : {1, 0}) {
+      ExecutionResult R = Interpreter().run(F, {Cond});
+      std::printf("cond=%lld: result=%lld, dynamic copies=%llu\n",
+                  static_cast<long long>(Cond),
+                  static_cast<long long>(R.ReturnValue),
+                  static_cast<unsigned long long>(R.CopiesExecuted));
+    }
+  }
+
+  // The Standard instantiation pays a copy per phi edge (Figure 3c).
+  {
+    auto M = parseDemo();
+    Function &F = *M->functions()[0];
+    splitCriticalEdges(F);
+    DominatorTree DT(F);
+    SSABuildOptions Opts;
+    Opts.FoldCopies = true;
+    buildSSA(F, DT, Opts);
+    DestructionStats Stats = destroySSAStandard(F);
+    std::printf("\n== Standard instantiation (Figure 3c, %u copies) ==\n%s\n",
+                Stats.CopiesInserted, printFunction(F).c_str());
+    for (int64_t Cond : {1, 0}) {
+      ExecutionResult R = Interpreter().run(F, {Cond});
+      std::printf("cond=%lld: result=%lld, dynamic copies=%llu\n",
+                  static_cast<long long>(Cond),
+                  static_cast<long long>(R.ReturnValue),
+                  static_cast<unsigned long long>(R.CopiesExecuted));
+    }
+  }
+  std::printf("\nBoth stay correct; the New algorithm leaves one arm "
+              "entirely copy free.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===- analysis/CFGUtils.h - CFG transformations ----------------*- C++ -*-===//
+///
+/// \file
+/// Critical-edge splitting (the paper's fix for the lost-copy problem,
+/// Section 3.6: "we avoid the lost copy problem by splitting critical edges
+/// after we have read in the code") and small CFG queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_ANALYSIS_CFGUTILS_H
+#define FCC_ANALYSIS_CFGUTILS_H
+
+namespace fcc {
+
+class BasicBlock;
+class Function;
+
+/// True when the edge \p From -> \p To is critical: the source has several
+/// successors and the target several predecessors.
+bool isCriticalEdge(const BasicBlock *From, const BasicBlock *To);
+
+/// Splits every critical edge by inserting a forwarding block. Phi operands
+/// keep their slots (the predecessor entry is rewritten in place). Returns
+/// the number of edges split.
+unsigned splitCriticalEdges(Function &F);
+
+/// True when the function has at least one critical edge.
+bool hasCriticalEdges(const Function &F);
+
+} // namespace fcc
+
+#endif // FCC_ANALYSIS_CFGUTILS_H

@@ -1,0 +1,37 @@
+//===- analysis/DominanceFrontier.h - Cytron's DF ---------------*- C++ -*-===//
+///
+/// \file
+/// Dominance frontiers for SSA construction (Cytron et al., TOPLAS 1991),
+/// computed with the Cooper–Harvey–Kennedy join-walk: for every join block J
+/// and predecessor P, every block on the idom-chain from P up to (but not
+/// including) idom(J) has J in its frontier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_ANALYSIS_DOMINANCEFRONTIER_H
+#define FCC_ANALYSIS_DOMINANCEFRONTIER_H
+
+#include "analysis/DominatorTree.h"
+#include <cstddef>
+#include <vector>
+
+namespace fcc {
+
+/// Per-block dominance frontier sets (sorted by block id, duplicate free).
+class DominanceFrontier {
+public:
+  explicit DominanceFrontier(const DominatorTree &DT);
+
+  /// Frontier of \p B, ordered by block id.
+  const std::vector<BasicBlock *> &frontier(const BasicBlock *B) const;
+
+  size_t bytes() const;
+
+private:
+  const DominatorTree &DT;
+  std::vector<std::vector<BasicBlock *>> Frontiers; // indexed by block id
+};
+
+} // namespace fcc
+
+#endif // FCC_ANALYSIS_DOMINANCEFRONTIER_H

@@ -1,0 +1,137 @@
+//===- analysis/DominatorTree.cpp -----------------------------------------===//
+//
+// Implements the iterative dominance algorithm of Cooper, Harvey and Kennedy
+// ("A Simple, Fast Dominance Algorithm"), followed by a single depth-first
+// numbering pass due to Tarjan that the paper's dominance-forest construction
+// depends on (Section 3.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace fcc;
+
+unsigned DominatorTree::blockIndex(const BasicBlock *B) const {
+  assert(B && B->getParent() == &F && "block from a different function");
+  return B->id();
+}
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  unsigned N = F.numBlocks();
+  assert(N != 0 && "empty function");
+
+  // Postorder DFS over the CFG (iterative; generator CFGs can be deep).
+  std::vector<BasicBlock *> Postorder;
+  Postorder.reserve(N);
+  {
+    std::vector<bool> Visited(N, false);
+    // Stack of (block, next successor index to visit).
+    std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+    Stack.push_back({F.entry(), 0});
+    Visited[F.entry()->id()] = true;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      const auto &Succs = B->terminator()->successors();
+      if (NextSucc < Succs.size()) {
+        BasicBlock *S = Succs[NextSucc++];
+        if (!Visited[S->id()]) {
+          Visited[S->id()] = true;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      Postorder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  assert(Postorder.size() == N && "unreachable blocks; verify first");
+
+  RPO.assign(Postorder.rbegin(), Postorder.rend());
+  std::vector<unsigned> PostNum(N);
+  for (unsigned I = 0; I != Postorder.size(); ++I)
+    PostNum[Postorder[I]->id()] = I;
+
+  // Cooper-Harvey-Kennedy fixed point over idoms.
+  Idom.assign(N, nullptr);
+  Idom[F.entry()->id()] = F.entry(); // Self-idom sentinel during iteration.
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (PostNum[A->id()] < PostNum[B->id()])
+        A = Idom[A->id()];
+      while (PostNum[B->id()] < PostNum[A->id()])
+        B = Idom[B->id()];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *B : RPO) {
+      if (B == F.entry())
+        continue;
+      BasicBlock *NewIdom = nullptr;
+      for (BasicBlock *P : B->preds()) {
+        if (!Idom[P->id()])
+          continue; // Not yet processed.
+        NewIdom = NewIdom ? Intersect(NewIdom, P) : P;
+      }
+      assert(NewIdom && "reachable block with no processed predecessor");
+      if (Idom[B->id()] != NewIdom) {
+        Idom[B->id()] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  Idom[F.entry()->id()] = nullptr; // Drop the sentinel.
+
+  // Dominator-tree children, in RPO so numbering is deterministic.
+  Children.assign(N, {});
+  for (BasicBlock *B : RPO)
+    if (BasicBlock *D = Idom[B->id()])
+      Children[D->id()].push_back(B);
+
+  // Tarjan numbering: preorder on the way down, max preorder of the subtree
+  // on the way up.
+  Preorder.assign(N, 0);
+  MaxPreorder.assign(N, 0);
+  PreorderBlocks.assign(N, nullptr);
+  unsigned NextPre = 0;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  Stack.push_back({F.entry(), 0});
+  Preorder[F.entry()->id()] = NextPre;
+  PreorderBlocks[NextPre] = F.entry();
+  ++NextPre;
+  while (!Stack.empty()) {
+    auto &[B, NextChild] = Stack.back();
+    const auto &Kids = Children[B->id()];
+    if (NextChild < Kids.size()) {
+      BasicBlock *C = Kids[NextChild++];
+      Preorder[C->id()] = NextPre;
+      PreorderBlocks[NextPre] = C;
+      ++NextPre;
+      Stack.push_back({C, 0});
+      continue;
+    }
+    MaxPreorder[B->id()] = NextPre - 1;
+    Stack.pop_back();
+  }
+  assert(NextPre == N && "dominator tree does not span all blocks");
+}
+
+size_t DominatorTree::bytes() const {
+  size_t Total = RPO.capacity() * sizeof(BasicBlock *) +
+                 Idom.capacity() * sizeof(BasicBlock *) +
+                 Preorder.capacity() * sizeof(unsigned) +
+                 MaxPreorder.capacity() * sizeof(unsigned) +
+                 PreorderBlocks.capacity() * sizeof(BasicBlock *);
+  for (const auto &Kids : Children)
+    Total += Kids.capacity() * sizeof(BasicBlock *);
+  return Total;
+}

@@ -1,0 +1,89 @@
+//===- analysis/DominatorTree.h - Dominance information ---------*- C++ -*-===//
+///
+/// \file
+/// Dominator tree built with the Cooper–Harvey–Kennedy iterative algorithm,
+/// decorated with the Tarjan preorder / max-preorder numbering the paper's
+/// Figure 1 requires: `preorder(a) <= preorder(b) <= maxPreorder(a)` answers
+/// "does a dominate b?" in constant time, and the numbering is computed once
+/// per function regardless of how many dominance forests are built over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_ANALYSIS_DOMINATORTREE_H
+#define FCC_ANALYSIS_DOMINATORTREE_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+class Function;
+
+/// Immediate-dominator tree over a function's CFG. The function must verify
+/// (in particular every block must be reachable).
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  const Function &function() const { return F; }
+
+  /// Immediate dominator; nullptr for the entry block.
+  BasicBlock *idom(const BasicBlock *B) const {
+    return Idom[blockIndex(B)];
+  }
+
+  /// Dominator-tree children of \p B.
+  const std::vector<BasicBlock *> &children(const BasicBlock *B) const {
+    return Children[blockIndex(B)];
+  }
+
+  /// True when \p A dominates \p B (reflexively).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const {
+    unsigned PA = Preorder[blockIndex(A)];
+    return PA <= Preorder[blockIndex(B)] &&
+           Preorder[blockIndex(B)] <= MaxPreorder[blockIndex(A)];
+  }
+
+  /// True when \p A dominates \p B and A != B.
+  bool strictlyDominates(const BasicBlock *A, const BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Tarjan preorder number of \p B in the dominator tree.
+  unsigned preorder(const BasicBlock *B) const {
+    return Preorder[blockIndex(B)];
+  }
+
+  /// Largest preorder number among \p B's dominator-tree descendants.
+  unsigned maxPreorder(const BasicBlock *B) const {
+    return MaxPreorder[blockIndex(B)];
+  }
+
+  /// Blocks in dominator-tree preorder (index = preorder number).
+  const std::vector<BasicBlock *> &preorderBlocks() const {
+    return PreorderBlocks;
+  }
+
+  /// Blocks in reverse postorder of the CFG (computed as a by-product).
+  const std::vector<BasicBlock *> &reversePostorder() const { return RPO; }
+
+  /// Bytes held by the tree's tables (for the memory experiments).
+  size_t bytes() const;
+
+private:
+  unsigned blockIndex(const BasicBlock *B) const;
+
+  const Function &F;
+  std::vector<BasicBlock *> RPO;
+  std::vector<BasicBlock *> Idom;     // indexed by block id
+  std::vector<std::vector<BasicBlock *>> Children; // indexed by block id
+  std::vector<unsigned> Preorder;     // indexed by block id
+  std::vector<unsigned> MaxPreorder;  // indexed by block id
+  std::vector<BasicBlock *> PreorderBlocks;
+};
+
+} // namespace fcc
+
+#endif // FCC_ANALYSIS_DOMINATORTREE_H

@@ -1,0 +1,97 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+using namespace fcc;
+
+Liveness::Liveness(const Function &F) : F(F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumVars = F.numVariables();
+
+  LiveInSets.assign(NumBlocks, IndexSet(NumVars));
+  LiveOutSets.assign(NumBlocks, IndexSet(NumVars));
+
+  // Per-block upward-exposed uses (direct uses only; phi operands belong to
+  // edges) and definitions (including phi results).
+  std::vector<IndexSet> UEVar(NumBlocks, IndexSet(NumVars));
+  std::vector<IndexSet> DefVar(NumBlocks, IndexSet(NumVars));
+  // PhiUse[b] collects, for each successor edge b->s, the variables feeding
+  // s's phis along that edge; they are live out of b.
+  std::vector<IndexSet> PhiUse(NumBlocks, IndexSet(NumVars));
+
+  for (const auto &B : F.blocks()) {
+    unsigned Id = B->id();
+    IndexSet &UE = UEVar[Id];
+    IndexSet &Defs = DefVar[Id];
+    for (const auto &Phi : B->phis())
+      Defs.insert(Phi->getDef()->id());
+    for (const auto &I : B->insts()) {
+      I->forEachUsedVar([&](Variable *V) {
+        if (!Defs.test(V->id()))
+          UE.insert(V->id());
+      });
+      if (Variable *Def = I->getDef())
+        Defs.insert(Def->id());
+    }
+  }
+  for (const auto &B : F.blocks())
+    for (const auto &Phi : B->phis())
+      for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
+        const Operand &O = Phi->getOperand(Idx);
+        if (O.isVar())
+          PhiUse[B->preds()[Idx]->id()].insert(O.getVar()->id());
+      }
+
+  // Round-robin to a fixed point, iterating blocks in reverse id order as a
+  // cheap approximation of postorder (converges regardless of order). The
+  // scratch set is hoisted out of the loop: per-block allocations dominate
+  // the solver otherwise.
+  IndexSet Scratch(NumVars);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Idx = NumBlocks; Idx-- != 0;) {
+      const BasicBlock *B = F.block(Idx);
+      Scratch.clear();
+      Scratch.unionWith(PhiUse[Idx]);
+      for (const BasicBlock *S : B->terminator()->successors())
+        Scratch.unionWith(LiveInSets[S->id()]);
+      Changed |= LiveOutSets[Idx].unionWith(Scratch);
+
+      Scratch.subtract(DefVar[Idx]);
+      Scratch.unionWith(UEVar[Idx]);
+      Changed |= LiveInSets[Idx].unionWith(Scratch);
+    }
+  }
+}
+
+const IndexSet &Liveness::liveIn(const BasicBlock *B) const {
+  assert(B->id() < LiveInSets.size() && "foreign block");
+  return LiveInSets[B->id()];
+}
+
+const IndexSet &Liveness::liveOut(const BasicBlock *B) const {
+  assert(B->id() < LiveOutSets.size() && "foreign block");
+  return LiveOutSets[B->id()];
+}
+
+bool Liveness::isLiveIn(const BasicBlock *B, const Variable *V) const {
+  return liveIn(B).test(V->id());
+}
+
+bool Liveness::isLiveOut(const BasicBlock *B, const Variable *V) const {
+  return liveOut(B).test(V->id());
+}
+
+size_t Liveness::bytes() const {
+  size_t Total = 0;
+  for (const IndexSet &S : LiveInSets)
+    Total += S.bytes();
+  for (const IndexSet &S : LiveOutSets)
+    Total += S.bytes();
+  return Total;
+}

@@ -1,0 +1,46 @@
+//===- analysis/Liveness.h - Phi-aware liveness ------------------*- C++ -*-===//
+///
+/// \file
+/// Backward data-flow liveness with the phi convention Section 3.1 of the
+/// paper depends on: a value feeding a phi in block b is *not* in b's live-in
+/// set — it is live out of the predecessor it flows from. Only values with a
+/// direct (non-phi) use in b or below appear in live-in(b). Phi results are
+/// defined at the top of their block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_ANALYSIS_LIVENESS_H
+#define FCC_ANALYSIS_LIVENESS_H
+
+#include "support/IndexSet.h"
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+class Function;
+class Variable;
+
+/// Block-boundary liveness sets over a function's variables.
+class Liveness {
+public:
+  explicit Liveness(const Function &F);
+
+  const IndexSet &liveIn(const BasicBlock *B) const;
+  const IndexSet &liveOut(const BasicBlock *B) const;
+
+  bool isLiveIn(const BasicBlock *B, const Variable *V) const;
+  bool isLiveOut(const BasicBlock *B, const Variable *V) const;
+
+  /// Bytes held by the live sets (for the memory experiments).
+  size_t bytes() const;
+
+private:
+  const Function &F;
+  std::vector<IndexSet> LiveInSets;  // indexed by block id
+  std::vector<IndexSet> LiveOutSets; // indexed by block id
+};
+
+} // namespace fcc
+
+#endif // FCC_ANALYSIS_LIVENESS_H

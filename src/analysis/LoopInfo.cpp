@@ -1,0 +1,67 @@
+//===- analysis/LoopInfo.cpp ----------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace fcc;
+
+LoopInfo::LoopInfo(const DominatorTree &DT) {
+  const Function &F = DT.function();
+  Depth.assign(F.numBlocks(), 0);
+
+  // Group back-edge sources by header so each header yields one loop. The
+  // comparator is by block id: iteration order must not depend on pointer
+  // values.
+  auto ById = [](const BasicBlock *A, const BasicBlock *B) {
+    return A->id() < B->id();
+  };
+  std::map<BasicBlock *, std::vector<BasicBlock *>, decltype(ById)> Latches(
+      ById);
+  for (const auto &B : F.blocks())
+    for (BasicBlock *S : B->terminator()->successors())
+      if (DT.dominates(S, B.get()))
+        Latches[S].push_back(B.get());
+
+  std::vector<unsigned> Stamp(F.numBlocks(), 0);
+  unsigned Generation = 0;
+  for (auto &[Header, Tails] : Latches) {
+    Loop L;
+    L.Header = Header;
+    ++Generation;
+    auto InLoopTest = [&](const BasicBlock *B) {
+      return Stamp[B->id()] == Generation;
+    };
+    Stamp[Header->id()] = Generation;
+    L.Blocks.push_back(Header);
+    // Backward reachability from every latch, stopping at the header.
+    std::vector<BasicBlock *> Work(Tails.begin(), Tails.end());
+    while (!Work.empty()) {
+      BasicBlock *B = Work.back();
+      Work.pop_back();
+      if (InLoopTest(B))
+        continue;
+      Stamp[B->id()] = Generation;
+      L.Blocks.push_back(B);
+      for (BasicBlock *P : B->preds())
+        Work.push_back(P);
+    }
+    std::sort(L.Blocks.begin(), L.Blocks.end(),
+              [](const BasicBlock *A, const BasicBlock *B) {
+                return A->id() < B->id();
+              });
+    for (BasicBlock *B : L.Blocks)
+      ++Depth[B->id()];
+    Loops.push_back(std::move(L));
+  }
+}
+
+unsigned LoopInfo::loopDepth(const BasicBlock *B) const {
+  assert(B->id() < Depth.size() && "foreign block");
+  return Depth[B->id()];
+}

@@ -1,0 +1,47 @@
+//===- analysis/LoopInfo.h - Natural loops ----------------------*- C++ -*-===//
+///
+/// \file
+/// Natural-loop detection from back edges (t -> h where h dominates t) and
+/// per-block loop-nesting depth. The interference-graph coalescer uses depth
+/// to coalesce copies in the innermost loops first — the heuristic Section
+/// 4.3 of the paper discusses — and the interpreter-free benchmarks use it
+/// to weight static copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_ANALYSIS_LOOPINFO_H
+#define FCC_ANALYSIS_LOOPINFO_H
+
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+class DominatorTree;
+class Function;
+
+/// One natural loop: header plus body blocks (header included).
+struct Loop {
+  BasicBlock *Header = nullptr;
+  std::vector<BasicBlock *> Blocks; // includes the header
+};
+
+/// Loops and loop-nesting depths for a function.
+class LoopInfo {
+public:
+  explicit LoopInfo(const DominatorTree &DT);
+
+  /// All natural loops, one per header (back edges sharing a header merge).
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Number of loops containing \p B (0 = not in any loop).
+  unsigned loopDepth(const BasicBlock *B) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> Depth; // indexed by block id
+};
+
+} // namespace fcc
+
+#endif // FCC_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,92 @@
+//===- baseline/InterferenceGraph.h - Chaitin's graph -----------*- C++ -*-===//
+///
+/// \file
+/// The interference graph of Chaitin-style allocators: a triangular bit
+/// matrix (plus optional adjacency lists for coloring) over live-range
+/// names. Section 4.1 of the paper's experiments measures two builds:
+///
+///   - the classic build over *all* names (quadratic bits to clear), and
+///   - the improved build restricted to copy-involved names through a
+///     compact mapping array — identical answers for coalescing queries,
+///     orders of magnitude less memory.
+///
+/// Both are the same code here, selected by BuildOptions::Restrict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_BASELINE_INTERFERENCEGRAPH_H
+#define FCC_BASELINE_INTERFERENCEGRAPH_H
+
+#include "support/TriangularBitMatrix.h"
+#include <cstddef>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+class Liveness;
+class Variable;
+
+/// Interference graph over a function's variables (live ranges).
+class InterferenceGraph {
+public:
+  struct BuildOptions {
+    /// When set, only these variables become graph nodes; queries about
+    /// other variables assert. This is the Briggs* compact namespace.
+    const std::vector<Variable *> *Restrict = nullptr;
+    /// Also build adjacency lists (needed by the coloring allocator; the
+    /// coalescer only needs the matrix).
+    bool BuildAdjacencyLists = false;
+  };
+
+  /// Builds the graph from \p F's current code using \p LV. Chaitin's copy
+  /// refinement applies: at `d = copy s`, d does not interfere with s.
+  /// Phis, if present, define in parallel at their block's top.
+  InterferenceGraph(const Function &F, const Liveness &LV,
+                    const BuildOptions &Opts);
+  InterferenceGraph(const Function &F, const Liveness &LV)
+      : InterferenceGraph(F, LV, BuildOptions()) {}
+
+  /// Number of graph nodes (== restricted universe size, or all variables).
+  unsigned numNodes() const { return Matrix.size(); }
+
+  /// True when \p V is a node of this graph.
+  bool isNode(const Variable *V) const;
+
+  /// Interference query; both variables must be nodes.
+  bool interfere(const Variable *A, const Variable *B) const;
+
+  /// Degree of \p V (requires adjacency lists).
+  unsigned degree(const Variable *V) const;
+
+  /// Neighbors of \p V as node indices (requires adjacency lists).
+  const std::vector<unsigned> &neighbors(const Variable *V) const;
+
+  /// Variable for node index \p Node.
+  Variable *nodeVariable(unsigned Node) const { return Universe[Node]; }
+
+  /// Folds \p B's interferences into \p A (conservative update after
+  /// coalescing the copy A = B, as Chaitin does between rebuilds).
+  void mergeInto(const Variable *A, const Variable *B);
+
+  /// Number of interference pairs recorded.
+  size_t edgeCount() const { return Matrix.count(); }
+
+  /// Bytes of the matrix, mapping array and adjacency lists — the metric of
+  /// the paper's Table 1.
+  size_t bytes() const;
+
+private:
+  unsigned nodeIndex(const Variable *V) const;
+  void addEdge(unsigned A, unsigned B);
+
+  TriangularBitMatrix Matrix;
+  std::vector<int> VarToNode;        // variable id -> node index or -1
+  std::vector<Variable *> Universe;  // node index -> variable
+  bool HasAdjacency = false;
+  std::vector<std::vector<unsigned>> Adjacency; // node -> neighbor nodes
+};
+
+} // namespace fcc
+
+#endif // FCC_BASELINE_INTERFERENCEGRAPH_H

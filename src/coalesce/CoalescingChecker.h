@@ -1,0 +1,39 @@
+//===- coalesce/CoalescingChecker.h - Independent validation ----*- C++ -*-===//
+///
+/// \file
+/// Cross-validates any coalescing decision: given a location assignment
+/// (variable -> representative), walks the SSA function with exact per-point
+/// liveness and reports two distinct variables that share a location while
+/// simultaneously live. The check is graph-free but equivalent to building
+/// Chaitin's interference graph and testing the merged pairs, so it lets the
+/// paper's algorithm and the baseline coalescers audit each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_COALESCE_COALESCINGCHECKER_H
+#define FCC_COALESCE_COALESCINGCHECKER_H
+
+#include <functional>
+#include <string>
+
+namespace fcc {
+
+class Function;
+class Liveness;
+class Variable;
+
+/// Maps a variable to the location (representative variable) it will occupy.
+using LocationFn = std::function<const Variable *(const Variable *)>;
+
+/// Verifies that no two simultaneously-live variables of SSA function \p F
+/// share a location under \p Loc. Copy sources are exempt at the copy
+/// itself (Chaitin's refinement): `d = copy s` makes d and s hold the same
+/// value, so overlapping exactly there is harmless. Returns true when the
+/// assignment is interference free; otherwise fills \p Error with the
+/// offending pair.
+bool checkCoalescing(const Function &F, const Liveness &LV,
+                     const LocationFn &Loc, std::string &Error);
+
+} // namespace fcc
+
+#endif // FCC_COALESCE_COALESCINGCHECKER_H

@@ -1,0 +1,108 @@
+//===- coalesce/DominanceForest.cpp ---------------------------------------===//
+//
+// Figure 1 of the paper:
+//
+//   maxpreorder(VirtualRoot) = MAX
+//   CurrentParent = VirtualRoot; stack.push(VirtualRoot)
+//   for all variables v in S in sorted (preorder) order:
+//     while preorder(v) > maxpreorder(CurrentParent):
+//       stack.pop(); CurrentParent = stack.top()
+//     make v a child of CurrentParent
+//     stack.push(v); CurrentParent = v
+//   remove VirtualRoot
+//
+// The sort is a radix sort over preorder numbers (linear, as Section 3.7
+// requires); same-block members tie-break on definition position so the
+// chain respects program order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/DominanceForest.h"
+
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <limits>
+
+using namespace fcc;
+
+DominanceForest::DominanceForest(std::vector<ForestMember> Members,
+                                 const DominatorTree &DT, bool PreSorted) {
+  unsigned N = static_cast<unsigned>(Members.size());
+  Nodes.reserve(N);
+
+  std::vector<ForestMember> Sorted;
+  if (PreSorted) {
+    Sorted = std::move(Members);
+  } else {
+    // Radix sort by dominator-tree preorder of the defining block. Counting
+    // sort over [0, numBlocks) is the single radix pass; it is stable, so a
+    // preliminary stable ordering by definition position gives the same-block
+    // tie-break for free. Members arrive in an arbitrary but deterministic
+    // order; an insertion pass by DefPos keeps this O(|S|) in practice
+    // because same-block runs are tiny (usually a phi plus one other def).
+    unsigned NumPre = static_cast<unsigned>(DT.preorderBlocks().size());
+    std::vector<unsigned> CountByPre(NumPre + 1, 0);
+    for (const ForestMember &M : Members)
+      ++CountByPre[DT.preorder(M.DefBlock) + 1];
+    for (unsigned I = 1; I <= NumPre; ++I)
+      CountByPre[I] += CountByPre[I - 1];
+    Sorted.resize(N);
+    for (const ForestMember &M : Members)
+      Sorted[CountByPre[DT.preorder(M.DefBlock)]++] = M;
+    // In-place insertion pass ordering same-preorder runs by DefPos.
+    for (unsigned I = 1; I < N; ++I) {
+      ForestMember M = Sorted[I];
+      unsigned J = I;
+      while (J > 0 &&
+             DT.preorder(Sorted[J - 1].DefBlock) == DT.preorder(M.DefBlock) &&
+             Sorted[J - 1].DefPos > M.DefPos) {
+        Sorted[J] = Sorted[J - 1];
+        --J;
+      }
+      Sorted[J] = M;
+    }
+  }
+  assert([&] {
+    for (unsigned I = 1; I < N; ++I) {
+      unsigned A = DT.preorder(Sorted[I - 1].DefBlock);
+      unsigned B = DT.preorder(Sorted[I].DefBlock);
+      if (A > B || (A == B && Sorted[I - 1].DefPos > Sorted[I].DefPos))
+        return false;
+    }
+    return true;
+  }() && "members not in (preorder, position) order");
+
+  // Figure 1 proper. Stack holds node indices; -1 is the virtual root whose
+  // maxpreorder is infinite.
+  constexpr unsigned InfinitePre = std::numeric_limits<unsigned>::max();
+  std::vector<int> Stack{-1};
+  auto MaxPreOf = [&](int NodeIdx) {
+    if (NodeIdx < 0)
+      return InfinitePre;
+    return DT.maxPreorder(Nodes[NodeIdx].Member.DefBlock);
+  };
+
+  for (const ForestMember &M : Sorted) {
+    unsigned Pre = DT.preorder(M.DefBlock);
+    while (Pre > MaxPreOf(Stack.back()))
+      Stack.pop_back();
+    int Parent = Stack.back();
+    unsigned Self = static_cast<unsigned>(Nodes.size());
+    Nodes.push_back(Node{M, Parent, {}});
+    if (Parent < 0)
+      Roots.push_back(Self);
+    else
+      Nodes[Parent].Children.push_back(Self);
+    Stack.push_back(static_cast<int>(Self));
+  }
+}
+
+size_t DominanceForest::bytes() const {
+  size_t Total = Nodes.capacity() * sizeof(Node) +
+                 Roots.capacity() * sizeof(unsigned);
+  for (const Node &N : Nodes)
+    Total += N.Children.capacity() * sizeof(unsigned);
+  return Total;
+}

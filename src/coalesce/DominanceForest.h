@@ -1,0 +1,69 @@
+//===- coalesce/DominanceForest.h - The paper's key structure ---*- C++ -*-===//
+///
+/// \file
+/// The dominance forest of Definition 3.1: the members of one union-find set
+/// mapped onto the blocks holding their definitions, with edges representing
+/// collapsed dominator-tree paths. Built in O(|S|) by the stack algorithm of
+/// Figure 1 after a one-time preorder numbering of the dominator tree.
+/// Lemma 3.1 lets the coalescer check interference only along forest edges.
+///
+/// Definition 3.1 assumes no two members share a defining block; when they do
+/// (a phi and a same-block member), equal preorder keys chain the members
+/// parent-to-child in definition order, which routes the pair into the local
+/// interference scan of Section 3.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_COALESCE_DOMINANCEFOREST_H
+#define FCC_COALESCE_DOMINANCEFOREST_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+class DominatorTree;
+class Variable;
+
+/// One member of the set being mapped onto the forest.
+struct ForestMember {
+  Variable *Var = nullptr;
+  BasicBlock *DefBlock = nullptr;
+  /// Position of the definition inside DefBlock: 0 for phi results and
+  /// parameters, body index + 1 otherwise. Orders same-block members.
+  unsigned DefPos = 0;
+};
+
+/// The forest: nodes index into the member array.
+class DominanceForest {
+public:
+  struct Node {
+    ForestMember Member;
+    int Parent = -1; ///< Node index, -1 for roots.
+    std::vector<unsigned> Children;
+  };
+
+  /// Builds the forest for \p Members over \p DT (Figure 1). Order of
+  /// \p Members is irrelevant; they are radix-ordered by preorder number and
+  /// definition position internally. Pass \p PreSorted when the members
+  /// already arrive in (preorder, definition position) order — callers that
+  /// maintain sorted sets (the eager coalescer) skip the sorting pass.
+  DominanceForest(std::vector<ForestMember> Members, const DominatorTree &DT,
+                  bool PreSorted = false);
+
+  const std::vector<Node> &nodes() const { return Nodes; }
+
+  /// Indices of root nodes, in preorder.
+  const std::vector<unsigned> &roots() const { return Roots; }
+
+  size_t bytes() const;
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<unsigned> Roots;
+};
+
+} // namespace fcc
+
+#endif // FCC_COALESCE_DOMINANCEFOREST_H

@@ -1,0 +1,613 @@
+//===- coalesce/FastCoalescer.cpp -----------------------------------------===//
+
+#include "coalesce/FastCoalescer.h"
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Liveness.h"
+#include "coalesce/DominanceForest.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+#include "ssa/ParallelCopy.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <span>
+
+using namespace fcc;
+
+FastCoalescer::FastCoalescer(Function &F, const DominatorTree &DT,
+                             const Liveness &LV,
+                             const FastCoalescerOptions &Opts)
+    : F(F), DT(DT), LV(LV), Opts(Opts) {
+  assert(!hasCriticalEdges(F) && "split critical edges before coalescing");
+  unsigned NumVars = F.numVariables();
+  Sets.grow(NumVars);
+  Removed.assign(NumVars, false);
+  PhiDegree.assign(NumVars, 0);
+  DefBlock.assign(NumVars, nullptr);
+  DefPos.assign(NumVars, 0);
+
+  for (Variable *P : F.params()) {
+    DefBlock[P->id()] = F.entry();
+    DefPos[P->id()] = 0;
+  }
+
+  // Eviction costs: one pending copy per phi connection, optionally
+  // weighted by the loop depth of the edge the copy would land on.
+  std::unique_ptr<LoopInfo> LI;
+  if (Opts.DepthWeightedCosts)
+    LI = std::make_unique<LoopInfo>(DT);
+  auto EdgeWeight = [&](const BasicBlock *Pred) -> uint64_t {
+    if (!LI)
+      return 1;
+    unsigned Depth = std::min(LI->loopDepth(Pred), 12u);
+    uint64_t W = 1;
+    for (unsigned D = 0; D != Depth; ++D)
+      W *= 10;
+    return W;
+  };
+
+  for (const auto &B : F.blocks()) {
+    assert((B->phis().empty() || B->getNumPreds() >= 2) &&
+           "single-predecessor phis unsupported: edge copies placed at the "
+           "end of the predecessor would execute on its other out-edges");
+    for (const auto &Phi : B->phis()) {
+      Variable *Def = Phi->getDef();
+      assert(!DefBlock[Def->id()] && "multiple defs: not SSA");
+      DefBlock[Def->id()] = B.get();
+      DefPos[Def->id()] = 0;
+      for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
+        uint64_t W = EdgeWeight(B->preds()[Idx]);
+        PhiDegree[Def->id()] += W;
+        const Operand &O = Phi->getOperand(Idx);
+        if (O.isVar())
+          PhiDegree[O.getVar()->id()] += W;
+      }
+    }
+    unsigned Pos = 1;
+    for (const auto &I : B->insts()) {
+      if (Variable *Def = I->getDef()) {
+        assert(!DefBlock[Def->id()] && "multiple defs: not SSA");
+        DefBlock[Def->id()] = B.get();
+        DefPos[Def->id()] = Pos;
+      }
+      ++Pos;
+    }
+  }
+
+  // Sorted-set keys so set merges and forest builds stay linear.
+  SortKey.assign(NumVars, 0);
+  for (unsigned Id = 0; Id != NumVars; ++Id)
+    if (DefBlock[Id])
+      SortKey[Id] =
+          (static_cast<uint64_t>(DT.preorder(DefBlock[Id])) << 32) |
+          DefPos[Id];
+}
+
+void FastCoalescer::computePartition() {
+  if (PartitionDone)
+    return;
+  PartitionDone = true;
+  unsigned NumVars = F.numVariables();
+  Active.assign(NumVars, true);
+  FinalRep.assign(NumVars, nullptr);
+
+  while (true) {
+    ++Stats.Rounds;
+    Sets = UnionFind(NumVars);
+    Removed.assign(NumVars, false);
+    LocalPairs.clear();
+
+    buildInitialSets();
+    walkForests();
+    resolveLocalInterference();
+
+    Stats.PeakBytes += Sets.bytes() + Removed.size() / 8 +
+                       LocalPairs.capacity() * sizeof(LocalPair);
+
+    // Freeze this round's survivors. Canonical member: a parameter when the
+    // set contains one (the incoming value cannot be renamed away from it —
+    // a correctness condition, not a heuristic), else the lowest id.
+    std::vector<Variable *> RootRep(NumVars, nullptr);
+    for (unsigned Id = 0; Id != NumVars; ++Id) {
+      if (!Active[Id] || Removed[Id])
+        continue;
+      unsigned Root = Sets.find(Id);
+      Variable *V = F.variable(Id);
+      if (!RootRep[Root])
+        RootRep[Root] = V;
+      else if (F.isParam(V)) {
+        assert(!F.isParam(RootRep[Root]) &&
+               "two live parameters merged into one set");
+        RootRep[Root] = V;
+      }
+    }
+    unsigned EvictedCount = 0;
+    for (unsigned Id = 0; Id != NumVars; ++Id) {
+      if (!Active[Id])
+        continue;
+      if (Removed[Id]) {
+        ++EvictedCount; // Stays active for the next round.
+        continue;
+      }
+      FinalRep[Id] = RootRep[Sets.find(Id)];
+      Active[Id] = false;
+    }
+
+    if (EvictedCount == 0)
+      break;
+    if (!Opts.RecoalesceEvicted) {
+      // The paper's behavior: evicted members become singletons.
+      for (unsigned Id = 0; Id != NumVars; ++Id)
+        if (Active[Id]) {
+          FinalRep[Id] = F.variable(Id);
+          Active[Id] = false;
+        }
+      break;
+    }
+    if (Opts.Trace)
+      std::fprintf(Opts.Trace,
+                   "  round %u evicted %u members; re-coalescing them\n",
+                   Stats.Rounds, EvictedCount);
+  }
+
+  Stats.PeakBytes += PhiDegree.capacity() * sizeof(uint64_t) +
+                     DefBlock.capacity() * sizeof(BasicBlock *) +
+                     DefPos.capacity() * sizeof(unsigned) +
+                     FinalRep.capacity() * sizeof(Variable *) +
+                     Active.size() / 8;
+}
+
+Variable *FastCoalescer::rep(const Variable *V) const {
+  assert(PartitionDone && "computePartition() first");
+  assert(V->id() < FinalRep.size() && "foreign variable");
+  Variable *Canonical = FinalRep[V->id()];
+  assert(Canonical && "variable was never frozen");
+  return Canonical;
+}
+
+bool FastCoalescer::isMerged(unsigned A, unsigned B) {
+  return !Removed[A] && !Removed[B] && Sets.find(A) == Sets.find(B);
+}
+
+void FastCoalescer::evict(unsigned VarId) {
+  assert(!Removed[VarId] && "double eviction");
+  Removed[VarId] = true;
+}
+
+unsigned FastCoalescer::lastUseIn(const BasicBlock *B, unsigned VarId) {
+  if (LastUseCache.empty()) {
+    LastUseCache.resize(F.numBlocks());
+    LastUseReady.assign(F.numBlocks(), false);
+  }
+  if (!LastUseReady[B->id()]) {
+    LastUseReady[B->id()] = true;
+    auto &Map = LastUseCache[B->id()];
+    unsigned Pos = 1;
+    for (const auto &I : B->insts()) {
+      I->forEachUsedVar([&](Variable *V) { Map[V->id()] = Pos; });
+      ++Pos;
+    }
+  }
+  auto It = LastUseCache[B->id()].find(VarId);
+  return It == LastUseCache[B->id()].end() ? 0 : It->second;
+}
+
+bool FastCoalescer::localOverlap(unsigned ParentId, unsigned ChildId) {
+  BasicBlock *B = DefBlock[ChildId];
+  if (LV.isLiveOut(B, F.variable(ParentId)))
+    return true;
+  unsigned LiveEnd = lastUseIn(B, ParentId);
+  if (LiveEnd == 0)
+    LiveEnd = DefBlock[ParentId] == B ? DefPos[ParentId] : 0;
+  // Parallel definitions at the block top (two phis, or phi + parameter)
+  // always clash; otherwise the parent must die before the child is born.
+  return LiveEnd > DefPos[ChildId] ||
+         (DefBlock[ParentId] == B && DefPos[ParentId] == DefPos[ChildId]);
+}
+
+bool FastCoalescer::setsWouldInterfere(unsigned RootA, unsigned RootB) {
+  // Member lists are kept in (preorder, position) order; an empty list
+  // means the implicit singleton {root}. One merge pass feeds the Figure 1
+  // stack scan directly — the forest is never materialized, because the
+  // scan's stack at the moment member v is attached IS v's ancestor chain.
+  const auto SpanOf = [&](unsigned Root,
+                          const unsigned &Single) -> std::span<const unsigned> {
+    const auto &V = MembersByRoot[Root];
+    return V.empty() ? std::span<const unsigned>(&Single, 1)
+                     : std::span<const unsigned>(V);
+  };
+  unsigned SingleA = RootA, SingleB = RootB;
+  std::span<const unsigned> MA = SpanOf(RootA, SingleA);
+  std::span<const unsigned> MB = SpanOf(RootB, SingleB);
+
+  auto &Stack = ScratchStack;
+  Stack.clear();
+  size_t IA = 0, IB = 0;
+  while (IA != MA.size() || IB != MB.size()) {
+    unsigned Id;
+    if (IB == MB.size() ||
+        (IA != MA.size() && SortKey[MA[IA]] <= SortKey[MB[IB]]))
+      Id = MA[IA++];
+    else
+      Id = MB[IB++];
+
+    const BasicBlock *IdBlock = DefBlock[Id];
+    unsigned Pre = DT.preorder(IdBlock);
+    while (!Stack.empty() &&
+           Pre > DT.maxPreorder(DefBlock[Stack.back()]))
+      Stack.pop_back();
+
+    // Interference between members with a dominance relation is contiguous
+    // along the ancestor chain (the Lemma 3.1 region argument), so checking
+    // the same-block chain plus the nearest different-block ancestor is
+    // exhaustive.
+    for (size_t K = Stack.size(); K-- > 0;) {
+      unsigned Anc = Stack[K];
+      if (DefBlock[Anc] == IdBlock) {
+        if (localOverlap(Anc, Id))
+          return true;
+        continue;
+      }
+      if (LV.isLiveOut(IdBlock, F.variable(Anc)))
+        return true;
+      if (LV.isLiveIn(IdBlock, F.variable(Anc)) && localOverlap(Anc, Id))
+        return true;
+      break;
+    }
+    Stack.push_back(Id);
+  }
+  return false;
+}
+
+/// Phase 1 (Section 3.1): optimistic unions with five filtering tests (and,
+/// in eager mode, the exhaustive set-versus-set forest check).
+void FastCoalescer::buildInitialSets() {
+  // An empty member list stands for the implicit singleton {root}, so this
+  // allocates nothing until sets actually merge.
+  MembersByRoot.assign(F.numVariables(), {});
+
+  // Deterministic dominator-tree preorder over blocks.
+  for (BasicBlock *B : DT.preorderBlocks()) {
+    // Filter 4 state: which phi of this block claimed which set.
+    std::map<unsigned, const Instruction *> ClaimedBy;
+    for (const auto &Phi : B->phis()) {
+      Variable *P = Phi->getDef();
+      if (!Active[P->id()])
+        continue; // Frozen in an earlier round.
+      // Filter 5 state: defining blocks of this phi's accepted arguments.
+      std::vector<const BasicBlock *> SeenDefBlocks;
+
+      for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
+        const Operand &O = Phi->getOperand(Idx);
+        if (O.isImm())
+          continue; // Materialized as a constant on the edge at rewrite.
+        Variable *A = O.getVar();
+        if (!Active[A->id()])
+          continue; // Frozen: the copy materializes at rewrite.
+        if (Sets.find(A->id()) == Sets.find(P->id()))
+          continue; // Already joined (duplicate argument, earlier phi).
+
+        BasicBlock *ADef = DefBlock[A->id()];
+        assert(ADef && "phi argument without a definition");
+
+        // Tests 1-5 of Section 3.1, first hit wins.
+        int RejectedBy = 0;
+        if (LV.isLiveIn(B, A))
+          RejectedBy = 1; // The argument flows past the phi into b.
+        else if (LV.isLiveOut(ADef, P))
+          RejectedBy = 2; // The phi result is live beyond a's block.
+        else if (ADef != B && !ADef->phis().empty() &&
+                 DefPos[A->id()] == 0 && !F.isParam(A) &&
+                 LV.isLiveIn(ADef, P))
+          RejectedBy = 3; // a is a phi result whose block p enters live.
+        else if (auto It = ClaimedBy.find(Sets.find(A->id()));
+                 It != ClaimedBy.end() && It->second != Phi.get())
+          RejectedBy = 4; // Another phi of this block claimed a's set.
+        else if (std::find(SeenDefBlocks.begin(), SeenDefBlocks.end(),
+                           ADef) != SeenDefBlocks.end())
+          RejectedBy = 5; // Two arguments of this phi share a block.
+
+        if (RejectedBy != 0 && Opts.UseFilters) {
+          ++Stats.FilterRejections;
+          if (Opts.Trace)
+            std::fprintf(Opts.Trace,
+                         "  filter %d: keep %s out of %s's set (block %s)\n",
+                         RejectedBy, A->name().c_str(), P->name().c_str(),
+                         B->name().c_str());
+          continue; // The copy materializes from the partition at rewrite.
+        }
+
+        unsigned RootP = Sets.find(P->id());
+        unsigned RootA = Sets.find(A->id());
+        if (Opts.EagerSetChecks && setsWouldInterfere(RootP, RootA)) {
+          ++Stats.FilterRejections;
+          if (Opts.Trace)
+            std::fprintf(Opts.Trace,
+                         "  eager: merging %s's and %s's sets would "
+                         "interfere (block %s)\n",
+                         A->name().c_str(), P->name().c_str(),
+                         B->name().c_str());
+          continue;
+        }
+        unsigned NewRoot = Sets.unite(RootP, RootA);
+        unsigned OldRoot = NewRoot == RootP ? RootA : RootP;
+        {
+          // Merge the (possibly implicit-singleton) sorted member lists.
+          std::vector<unsigned> KeepSide = std::move(MembersByRoot[NewRoot]);
+          std::vector<unsigned> LoseSide = std::move(MembersByRoot[OldRoot]);
+          if (KeepSide.empty())
+            KeepSide.push_back(NewRoot);
+          if (LoseSide.empty())
+            LoseSide.push_back(OldRoot);
+          auto &Into = MembersByRoot[NewRoot];
+          Into.reserve(KeepSide.size() + LoseSide.size());
+          std::merge(KeepSide.begin(), KeepSide.end(), LoseSide.begin(),
+                     LoseSide.end(), std::back_inserter(Into),
+                     [&](unsigned L, unsigned R) {
+                       return SortKey[L] < SortKey[R];
+                     });
+        }
+        SeenDefBlocks.push_back(ADef);
+      }
+      ClaimedBy[Sets.find(P->id())] = Phi.get();
+    }
+  }
+}
+
+/// Phases 2-3 (Sections 3.2, 3.3): dominance forests and the Figure 2 walk.
+void FastCoalescer::walkForests() {
+  if (Opts.EagerSetChecks) {
+    // Every union was vetted by the same forest scan before it happened, so
+    // the lazy re-walk cannot find anything; the interference-checker tests
+    // cross-validate that invariant. Skipping it keeps the eager mode's
+    // compile time linear in practice.
+    return;
+  }
+  unsigned NumVars = F.numVariables();
+
+  // The member lists are maintained by phase 1 (sorted, empty = singleton);
+  // only multi-member sets need a forest.
+  for (unsigned Root = 0; Root != NumVars; ++Root) {
+    const auto &Members = MembersByRoot[Root];
+    if (Members.size() < 2)
+      continue;
+    assert(Sets.findConst(Root) == Root && "member list on a non-root");
+
+    std::vector<ForestMember> FM;
+    FM.reserve(Members.size());
+    for (unsigned Id : Members)
+      FM.push_back({F.variable(Id), DefBlock[Id], DefPos[Id]});
+    DominanceForest Forest(std::move(FM), DT, /*PreSorted=*/true);
+    Stats.PeakBytes = std::max(Stats.PeakBytes, Forest.bytes());
+
+    const auto &Nodes = Forest.nodes();
+
+    // Does evicting the child actually help, or is the parent doomed by its
+    // other children anyway? (Figure 2's "p can not interfere with any of
+    // its other children".)
+    auto ParentThreatensOthers = [&](unsigned ParentNode,
+                                     unsigned ExceptNode) {
+      const Variable *P = Nodes[ParentNode].Member.Var;
+      for (unsigned Kid : Nodes[ParentNode].Children) {
+        if (Kid == ExceptNode || Removed[Nodes[Kid].Member.Var->id()])
+          continue;
+        const auto &KM = Nodes[Kid].Member;
+        if (LV.isLiveOut(KM.DefBlock, P) || LV.isLiveIn(KM.DefBlock, P) ||
+            KM.DefBlock == Nodes[ParentNode].Member.DefBlock)
+          return true;
+      }
+      return false;
+    };
+
+    // Preorder walk. Each node is checked against (a) every surviving
+    // same-block ancestor on its chain and (b) the nearest surviving
+    // ancestor from a different block. Lemma 3.1 makes (b) sufficient
+    // across blocks; within a block Definition 3.1's premise fails, and the
+    // local-interference pass resolves pairs only after all walks finish,
+    // so every same-block ancestor must be queued explicitly or an eviction
+    // in between would leave a pair unchecked.
+    for (unsigned N = 0; N != Nodes.size(); ++N) {
+      const ForestMember &CM = Nodes[N].Member;
+      unsigned C = CM.Var->id();
+      if (Removed[C])
+        continue;
+
+      auto CheckAgainst = [&](int AncIdx) {
+        // Returns false when N was evicted (no further checks needed).
+        const ForestMember &PM = Nodes[AncIdx].Member;
+        unsigned P = PM.Var->id();
+        if (LV.isLiveOut(CM.DefBlock, PM.Var)) {
+          // Certain interference: the parent is live across the child's
+          // whole defining block. Evict the endpoint costing fewer copies,
+          // unless the parent is doomed by its other children anyway.
+          bool EvictChild =
+              !Opts.CostBasedVictims ||
+              (cost(C) < cost(P) &&
+               !ParentThreatensOthers(static_cast<unsigned>(AncIdx), N));
+          if (Opts.Trace)
+            std::fprintf(Opts.Trace,
+                         "  forest: %s live out of %s's block %s -> evict "
+                         "%s (cost %llu vs %llu)\n",
+                         PM.Var->name().c_str(), CM.Var->name().c_str(),
+                         CM.DefBlock->name().c_str(),
+                         (EvictChild ? CM : PM).Var->name().c_str(),
+                         static_cast<unsigned long long>(cost(C)),
+                         static_cast<unsigned long long>(cost(P)));
+          evict(EvictChild ? C : P);
+          ++Stats.ForestEvictions;
+          return !EvictChild;
+        }
+        if (LV.isLiveIn(CM.DefBlock, PM.Var) || CM.DefBlock == PM.DefBlock)
+          LocalPairs.push_back({P, C});
+        return true;
+      };
+
+      bool Alive = true;
+      int Anc = Nodes[N].Parent;
+      // Same-block ancestors are a contiguous chain directly above N.
+      while (Alive && Anc >= 0 &&
+             Nodes[Anc].Member.DefBlock == CM.DefBlock) {
+        if (!Removed[Nodes[Anc].Member.Var->id()])
+          Alive = CheckAgainst(Anc);
+        Anc = Nodes[Anc].Parent;
+      }
+      // Nearest surviving different-block ancestor.
+      while (Alive && Anc >= 0 && Removed[Nodes[Anc].Member.Var->id()])
+        Anc = Nodes[Anc].Parent;
+      if (Alive && Anc >= 0)
+        CheckAgainst(Anc);
+    }
+  }
+}
+
+/// Phase 4 (Section 3.4): backward in-block scans for pairs the boundary
+/// information could not decide.
+void FastCoalescer::resolveLocalInterference() {
+  if (LocalPairs.empty())
+    return;
+
+  // Group pairs by the child's defining block so each block is scanned once.
+  auto ByBlock = [&](const LocalPair &L, const LocalPair &R) {
+    return DefBlock[L.Child]->id() < DefBlock[R.Child]->id();
+  };
+  std::stable_sort(LocalPairs.begin(), LocalPairs.end(), ByBlock);
+
+  size_t Idx = 0;
+  while (Idx != LocalPairs.size()) {
+    BasicBlock *B = DefBlock[LocalPairs[Idx].Child];
+    size_t End = Idx;
+    while (End != LocalPairs.size() && DefBlock[LocalPairs[End].Child] == B)
+      ++End;
+
+    // One backward scan: the last position each variable is used at in B.
+    // Body instruction i sits at position i + 1; phis at 0.
+    std::map<unsigned, unsigned> LastUse;
+    unsigned Pos = 1;
+    for (const auto &I : B->insts()) {
+      I->forEachUsedVar([&](Variable *V) { LastUse[V->id()] = Pos; });
+      ++Pos;
+    }
+
+    for (; Idx != End; ++Idx) {
+      unsigned P = LocalPairs[Idx].Parent, C = LocalPairs[Idx].Child;
+      if (!isMerged(P, C))
+        continue; // An earlier eviction already separated them.
+
+      bool Interferes;
+      if (LV.isLiveOut(B, F.variable(P))) {
+        // The forest walk only queues live-in/same-block pairs, but an
+        // eviction elsewhere cannot weaken liveness, so recheck for safety.
+        Interferes = true;
+      } else {
+        auto It = LastUse.find(P);
+        unsigned LiveEnd = It == LastUse.end() ? DefPos[P] : It->second;
+        // Both defined at the top (two phis, or a phi and a parameter):
+        // parallel definitions interfere outright.
+        Interferes = LiveEnd > DefPos[C] ||
+                     (DefBlock[P] == B && DefPos[P] == DefPos[C]);
+      }
+      if (!Interferes)
+        continue;
+      if (Opts.Trace)
+        std::fprintf(Opts.Trace,
+                     "  local: %s overlaps %s inside block %s -> evict %s\n",
+                     F.variable(P)->name().c_str(),
+                     F.variable(C)->name().c_str(), B->name().c_str(),
+                     F.variable(cost(C) <= cost(P) ? C : P)->name().c_str());
+      evict(cost(C) <= cost(P) ? C : P);
+      ++Stats.LocalEvictions;
+    }
+  }
+}
+
+FastCoalesceStats FastCoalescer::rewrite() {
+  computePartition();
+  unsigned TempCounter = 0;
+
+  // The Waiting array of Section 3: per-block pending copies derived from
+  // the final partition. Copies for the edge pred -> b sit in Waiting[pred];
+  // with critical edges split, pred reaches only b, so "end of pred" is
+  // exactly "on the edge".
+  std::vector<std::vector<CopyTask>> Waiting(F.numBlocks());
+  for (const auto &B : F.blocks()) {
+    for (const auto &Phi : B->phis()) {
+      Variable *DstRep = rep(Phi->getDef());
+      for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
+        const Operand &O = Phi->getOperand(Idx);
+        BasicBlock *Pred = B->preds()[Idx];
+        if (O.isImm()) {
+          Waiting[Pred->id()].push_back({DstRep, O});
+          continue;
+        }
+        Variable *SrcRep = rep(O.getVar());
+        if (SrcRep == DstRep)
+          continue; // Coalesced: the value is already in place.
+        for ([[maybe_unused]] const CopyTask &T : Waiting[Pred->id()])
+          assert(T.Dst != DstRep && "two phis writing one location on an "
+                                    "edge: partition is unsound");
+        Waiting[Pred->id()].push_back({DstRep, Operand::var(SrcRep)});
+      }
+    }
+  }
+  for (const auto &Tasks : Waiting)
+    Stats.PeakBytes += Tasks.capacity() * sizeof(CopyTask);
+
+  // Count surviving multi-member sets before renaming.
+  {
+    std::vector<bool> RootSeen(F.numVariables(), false);
+    for (unsigned Id = 0, E = F.numVariables(); Id != E; ++Id) {
+      if (Removed[Id] || Sets.setSize(Id) < 2)
+        continue;
+      unsigned Root = Sets.find(Id);
+      if (!RootSeen[Root]) {
+        RootSeen[Root] = true;
+        ++Stats.SetsRenamed;
+      }
+    }
+  }
+
+  // Rename defs and uses to representatives; drop copies that became
+  // self-copies (that is the coalescing taking effect on explicit copies).
+  for (const auto &B : F.blocks()) {
+    std::vector<Instruction *> SelfCopies;
+    for (const auto &I : B->insts()) {
+      I->forEachUse([&](Operand &O) { O.setVar(rep(O.getVar())); });
+      if (Variable *Def = I->getDef())
+        I->setDef(rep(Def));
+      if (I->isCopy() && I->getDef() == I->getOperand(0).getVar())
+        SelfCopies.push_back(I.get());
+    }
+    for (Instruction *I : SelfCopies)
+      B->eraseInst(I);
+  }
+
+  // Materialize the pending copies and delete the phis.
+  for (unsigned Id = 0, E = F.numBlocks(); Id != E; ++Id) {
+    if (Waiting[Id].empty())
+      continue;
+    SequencedCopies Seq =
+        sequentializeParallelCopy(Waiting[Id], F, TempCounter);
+    Stats.CopiesInserted += static_cast<unsigned>(Seq.Insts.size());
+    Stats.TempsUsed += Seq.TempsUsed;
+    BasicBlock *Pred = F.block(Id);
+    for (auto &I : Seq.Insts)
+      Pred->insertBeforeTerminator(std::move(I));
+  }
+  for (const auto &B : F.blocks())
+    B->takePhis();
+
+  return Stats;
+}
+
+FastCoalesceStats fcc::coalesceSSA(Function &F, const DominatorTree &DT,
+                                   const Liveness &LV,
+                                   const FastCoalescerOptions &Opts) {
+  FastCoalescer Coalescer(F, DT, LV, Opts);
+  Coalescer.computePartition();
+  return Coalescer.rewrite();
+}

@@ -1,0 +1,177 @@
+//===- coalesce/FastCoalescer.h - The paper's algorithm ---------*- C++ -*-===//
+///
+/// \file
+/// The copy-coalescing SSA-to-CFG conversion of the paper (Section 3): an
+/// optimistic algorithm that unions every name joined at a phi, then breaks
+/// the sets apart wherever two members can be proven to interfere — using
+/// only liveness and dominance, never an interference graph.
+///
+/// Phases:
+///  1. Build initial live ranges: union phi results with their arguments,
+///     filtering with the five quick interference tests of Section 3.1.
+///  2. Map each set onto a dominance forest (Figure 1).
+///  3. Walk each forest (Figure 2): a parent in the live-out set of a
+///     child's defining block interferes for certain — evict the cheaper
+///     endpoint; a parent merely live-in (or sharing the block) is queued
+///     for the in-block scan of Section 3.4.
+///  4. Resolve local interferences by scanning the affected blocks backward.
+///  5. Rename every surviving set to one name and materialize the pending
+///     `Waiting[]` copies as parallel copies per edge (Section 3.6), which
+///     makes the swap and virtual-swap orderings safe by construction.
+///
+/// Total complexity O(n alpha(n)) in the number of phi operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_COALESCE_FASTCOALESCER_H
+#define FCC_COALESCE_FASTCOALESCER_H
+
+#include "support/UnionFind.h"
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+class DominatorTree;
+class Function;
+class Liveness;
+class Variable;
+
+/// Outcome counters for one coalescing run.
+struct FastCoalesceStats {
+  /// Copies materialized at rewrite (including cycle temps).
+  unsigned CopiesInserted = 0;
+  unsigned TempsUsed = 0;
+  /// Phi-argument unions rejected by the Section 3.1 filters.
+  unsigned FilterRejections = 0;
+  /// Members evicted by the forest walk (certain interference).
+  unsigned ForestEvictions = 0;
+  /// Members evicted by the in-block scan (Section 3.4).
+  unsigned LocalEvictions = 0;
+  /// Non-singleton sets that survived to renaming.
+  unsigned SetsRenamed = 0;
+  /// Coalescing rounds run (1 without evictions or with the re-coalescing
+  /// heuristic disabled).
+  unsigned Rounds = 0;
+  /// Peak bytes of the pass's data structures (union-find, forests,
+  /// pending-copy lists). Liveness and dominance are accounted by callers,
+  /// since they are shared analyses.
+  size_t PeakBytes = 0;
+};
+
+/// Ablation knobs (DESIGN.md's design-choice study). Defaults reproduce the
+/// paper's algorithm.
+struct FastCoalescerOptions {
+  /// Apply the five Section 3.1 filters while building initial sets. With
+  /// filters off every phi argument is unioned optimistically and the
+  /// forest walk / local scan must undo the damage — correct, but more
+  /// evictions land in worse places.
+  bool UseFilters = true;
+  /// Pick forest-walk eviction victims by copy cost (Figure 2). When off,
+  /// the child is always evicted.
+  bool CostBasedVictims = true;
+  /// Weight a member's eviction cost by 10^loop-depth of each phi edge it
+  /// would put a copy on, so victims whose copies land on hot back edges
+  /// lose ties. This is one of the precision heuristics the paper's
+  /// Section 5 leaves as future work; off, the cost is the plain count of
+  /// phi connections ("fewer copies to insert").
+  bool DepthWeightedCosts = true;
+  /// Re-run set building over the members evicted by a round, so a chain
+  /// evicted piecewise out of an entangled set (the swap shapes) regroups
+  /// into its own location instead of shattering into singletons. Each
+  /// round freezes at least one member per set, so the loop terminates;
+  /// two rounds is the norm. Also a Section 5 precision heuristic; off
+  /// reproduces the paper's single pass with singleton evictions.
+  bool RecoalesceEvicted = true;
+  /// Decide interference *before* each union by walking the dominance
+  /// forest of the two candidate sets, and reject the union (one copy on
+  /// that phi edge) instead of discovering the clash later and evicting a
+  /// member out of an already-merged set (copies on all of its edges).
+  /// Same forests, same liveness tests, run eagerly; the paper's filters
+  /// are the "simple cases" of this check ("These five are not exhaustive",
+  /// Section 3.1). Off reproduces the paper's lazy two-phase behavior.
+  bool EagerSetChecks = true;
+  /// When set, every filter rejection and eviction is narrated here (used
+  /// by the examples and for debugging).
+  std::FILE *Trace = nullptr;
+};
+
+/// The coalescing SSA destructor. Use: construct, computePartition(), then
+/// either query rep() (e.g. for validation) or rewrite().
+class FastCoalescer {
+public:
+  /// \p F must be in SSA form with no critical edges; \p LV must be the
+  /// liveness of \p F in its current (SSA) state.
+  FastCoalescer(Function &F, const DominatorTree &DT, const Liveness &LV,
+                const FastCoalescerOptions &Opts = FastCoalescerOptions());
+
+  /// Phases 1-4: decides which SSA names share a location. Idempotent.
+  void computePartition();
+
+  /// The location (representative variable) \p V will be renamed to.
+  Variable *rep(const Variable *V) const;
+
+  /// Phase 5: renames sets, materializes pending copies, deletes phis.
+  /// Returns the final statistics. The function leaves SSA form.
+  FastCoalesceStats rewrite();
+
+  const FastCoalesceStats &stats() const { return Stats; }
+
+private:
+  struct LocalPair {
+    unsigned Parent; ///< Variable id.
+    unsigned Child;  ///< Variable id, defined at or after Parent's block.
+  };
+
+  void buildInitialSets();
+  void walkForests();
+  void resolveLocalInterference();
+  void evict(unsigned VarId);
+  /// Copies this member's eviction would insert (possibly depth weighted).
+  uint64_t cost(unsigned VarId) const { return PhiDegree[VarId]; }
+  bool isMerged(unsigned A, unsigned B);
+  /// Eager mode: would merging the sets of \p RootA and \p RootB create a
+  /// pair of simultaneously-live members?
+  bool setsWouldInterfere(unsigned RootA, unsigned RootB);
+  /// Position of \p VarId's last in-block use in \p B (0 when unused).
+  unsigned lastUseIn(const BasicBlock *B, unsigned VarId);
+  /// The Section 3.4 in-block test: does \p ParentId (live into or defined
+  /// in \p ChildId's block) overlap \p ChildId there?
+  bool localOverlap(unsigned ParentId, unsigned ChildId);
+
+  Function &F;
+  const DominatorTree &DT;
+  const Liveness &LV;
+  FastCoalescerOptions Opts;
+  FastCoalesceStats Stats;
+  bool PartitionDone = false;
+
+  // Per-round state (reset between rounds).
+  UnionFind Sets;
+  std::vector<bool> Removed; // evicted members, by variable id
+  std::vector<LocalPair> LocalPairs;
+  std::vector<std::vector<unsigned>> MembersByRoot; // eager mode
+  std::vector<unsigned> ScratchStack; // reused by setsWouldInterfere
+  std::vector<std::map<unsigned, unsigned>> LastUseCache; // lazily per block
+  std::vector<bool> LastUseReady;                         // by block id
+  // Whole-run state.
+  std::vector<bool> Active;          // still seeking a set, by variable id
+  std::vector<Variable *> FinalRep;  // frozen location, by variable id
+  std::vector<uint64_t> PhiDegree;   // (weighted) phi connections
+  std::vector<BasicBlock *> DefBlock; // by variable id
+  std::vector<unsigned> DefPos;       // by variable id
+  std::vector<uint64_t> SortKey;      // (preorder << 32 | pos), by var id
+};
+
+/// Convenience wrapper: computes the partition and rewrites in one call.
+FastCoalesceStats
+coalesceSSA(Function &F, const DominatorTree &DT, const Liveness &LV,
+            const FastCoalescerOptions &Opts = FastCoalescerOptions());
+
+} // namespace fcc
+
+#endif // FCC_COALESCE_FASTCOALESCER_H

@@ -1,0 +1,173 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+using namespace fcc;
+
+namespace {
+
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t safeDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (A == INT64_MIN && B == -1)
+    return INT64_MIN; // Wraps; defined here rather than UB.
+  return A / B;
+}
+int64_t safeMod(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (A == INT64_MIN && B == -1)
+    return 0;
+  return A % B;
+}
+
+} // namespace
+
+ExecutionResult Interpreter::run(const Function &F,
+                                 const std::vector<int64_t> &Args) const {
+  assert(MemoryWords != 0 && "interpreter needs at least one memory word");
+  ExecutionResult Result;
+  std::vector<int64_t> Regs(F.numVariables(), 0);
+  Result.FinalMemory.assign(MemoryWords, 0);
+
+  for (unsigned I = 0, E = static_cast<unsigned>(F.params().size()); I != E;
+       ++I)
+    Regs[F.params()[I]->id()] = I < Args.size() ? Args[I] : 0;
+
+  auto Eval = [&](const Operand &O) {
+    return O.isImm() ? O.getImm() : Regs[O.getVar()->id()];
+  };
+  auto MemIndex = [&](int64_t Addr) {
+    uint64_t U = static_cast<uint64_t>(Addr);
+    return static_cast<size_t>(U % MemoryWords);
+  };
+
+  const BasicBlock *Block = F.entry();
+  const BasicBlock *PrevBlock = nullptr;
+  uint64_t Steps = 0;
+
+  while (true) {
+    // Parallel phi evaluation on block entry: read all sources against the
+    // pre-entry register state, then commit.
+    if (!Block->phis().empty()) {
+      assert(PrevBlock && "phis in the entry block");
+      unsigned Slot = Block->predIndex(PrevBlock);
+      std::vector<std::pair<unsigned, int64_t>> Writes;
+      Writes.reserve(Block->phis().size());
+      for (const auto &Phi : Block->phis())
+        Writes.push_back(
+            {Phi->getDef()->id(), Eval(Phi->getOperand(Slot))});
+      for (auto [Id, Value] : Writes)
+        Regs[Id] = Value;
+    }
+
+    for (const auto &I : Block->insts()) {
+      if (++Steps > StepLimit)
+        return Result; // Completed stays false.
+      ++Result.InstructionsExecuted;
+
+      switch (I->opcode()) {
+      case Opcode::Const:
+        Regs[I->getDef()->id()] = I->getOperand(0).getImm();
+        break;
+      case Opcode::Copy:
+        ++Result.CopiesExecuted;
+        Regs[I->getDef()->id()] = Eval(I->getOperand(0));
+        break;
+      case Opcode::Add:
+        Regs[I->getDef()->id()] =
+            wrapAdd(Eval(I->getOperand(0)), Eval(I->getOperand(1)));
+        break;
+      case Opcode::Sub:
+        Regs[I->getDef()->id()] =
+            wrapSub(Eval(I->getOperand(0)), Eval(I->getOperand(1)));
+        break;
+      case Opcode::Mul:
+        Regs[I->getDef()->id()] =
+            wrapMul(Eval(I->getOperand(0)), Eval(I->getOperand(1)));
+        break;
+      case Opcode::Div:
+        Regs[I->getDef()->id()] =
+            safeDiv(Eval(I->getOperand(0)), Eval(I->getOperand(1)));
+        break;
+      case Opcode::Mod:
+        Regs[I->getDef()->id()] =
+            safeMod(Eval(I->getOperand(0)), Eval(I->getOperand(1)));
+        break;
+      case Opcode::Neg:
+        Regs[I->getDef()->id()] = wrapSub(0, Eval(I->getOperand(0)));
+        break;
+      case Opcode::CmpEq:
+        Regs[I->getDef()->id()] =
+            Eval(I->getOperand(0)) == Eval(I->getOperand(1));
+        break;
+      case Opcode::CmpNe:
+        Regs[I->getDef()->id()] =
+            Eval(I->getOperand(0)) != Eval(I->getOperand(1));
+        break;
+      case Opcode::CmpLt:
+        Regs[I->getDef()->id()] =
+            Eval(I->getOperand(0)) < Eval(I->getOperand(1));
+        break;
+      case Opcode::CmpLe:
+        Regs[I->getDef()->id()] =
+            Eval(I->getOperand(0)) <= Eval(I->getOperand(1));
+        break;
+      case Opcode::CmpGt:
+        Regs[I->getDef()->id()] =
+            Eval(I->getOperand(0)) > Eval(I->getOperand(1));
+        break;
+      case Opcode::CmpGe:
+        Regs[I->getDef()->id()] =
+            Eval(I->getOperand(0)) >= Eval(I->getOperand(1));
+        break;
+      case Opcode::Load:
+        Regs[I->getDef()->id()] =
+            Result.FinalMemory[MemIndex(Eval(I->getOperand(0)))];
+        break;
+      case Opcode::Store:
+        Result.FinalMemory[MemIndex(Eval(I->getOperand(0)))] =
+            Eval(I->getOperand(1));
+        break;
+      case Opcode::Br:
+        break; // Successor handled below.
+      case Opcode::CondBr:
+        break;
+      case Opcode::Ret:
+        Result.ReturnValue = Eval(I->getOperand(0));
+        Result.Completed = true;
+        return Result;
+      case Opcode::Phi:
+      case Opcode::NumOpcodes:
+        assert(false && "phi outside the phi list / invalid opcode");
+        break;
+      }
+    }
+
+    const Instruction *Term = Block->terminator();
+    PrevBlock = Block;
+    if (Term->opcode() == Opcode::Br) {
+      Block = Term->getSuccessor(0);
+    } else {
+      assert(Term->opcode() == Opcode::CondBr && "ret returns above");
+      Block = Eval(Term->getOperand(0)) != 0 ? Term->getSuccessor(0)
+                                             : Term->getSuccessor(1);
+    }
+  }
+}

@@ -1,0 +1,61 @@
+//===- interp/Interpreter.h - IR execution ----------------------*- C++ -*-===//
+///
+/// \file
+/// Deterministic interpreter for the IR, in and out of SSA form. It executes
+/// phis with parallel edge semantics, so a program can be checked for
+/// semantic equivalence before and after SSA round-trips, and it counts
+/// executed Copy instructions — the "dynamic copies" metric of the paper's
+/// Table 4.
+///
+/// Semantics that make every strict program total:
+///   - arithmetic wraps modulo 2^64 (evaluated unsigned, presented signed);
+///   - div/mod by zero yield 0;
+///   - memory is a flat array of words, addresses wrap modulo its size;
+///   - a configurable step limit halts runaway loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_INTERP_INTERPRETER_H
+#define FCC_INTERP_INTERPRETER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+
+/// Outcome of one execution.
+struct ExecutionResult {
+  /// Value of the executed `ret`; 0 when the step limit was hit.
+  int64_t ReturnValue = 0;
+  /// True when execution reached a `ret` within the step limit.
+  bool Completed = false;
+  /// Non-phi instructions executed.
+  uint64_t InstructionsExecuted = 0;
+  /// Copy instructions executed (the paper's dynamic-copy metric).
+  uint64_t CopiesExecuted = 0;
+  /// Memory contents at exit (observable state for equivalence checks).
+  std::vector<int64_t> FinalMemory;
+};
+
+/// Configurable executor. Stateless between run() calls.
+class Interpreter {
+public:
+  explicit Interpreter(unsigned MemoryWords = 64,
+                       uint64_t StepLimit = 4'000'000)
+      : MemoryWords(MemoryWords), StepLimit(StepLimit) {}
+
+  /// Runs \p F with \p Args bound to its parameters (missing args are 0,
+  /// extras ignored). The function must verify; phis are permitted.
+  ExecutionResult run(const Function &F,
+                      const std::vector<int64_t> &Args) const;
+
+private:
+  unsigned MemoryWords;
+  uint64_t StepLimit;
+};
+
+} // namespace fcc
+
+#endif // FCC_INTERP_INTERPRETER_H

@@ -1,0 +1,104 @@
+//===- ir/BasicBlock.h - CFG basic blocks -----------------------*- C++ -*-===//
+///
+/// \file
+/// A BasicBlock holds a (possibly empty) group of phi instructions, a body of
+/// ordinary instructions, and exactly one trailing terminator. The block
+/// also owns its predecessor list; phi operand order is kept in lock-step
+/// with that list, which is the invariant every SSA algorithm here leans on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_BASICBLOCK_H
+#define FCC_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+
+/// One node of the control-flow graph.
+class BasicBlock {
+public:
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+  Function *getParent() const { return Parent; }
+
+  /// Phi instructions, conceptually executed in parallel at block entry.
+  const std::vector<std::unique_ptr<Instruction>> &phis() const {
+    return Phis;
+  }
+  /// Ordinary instructions; the last one is the terminator once the block is
+  /// complete.
+  const std::vector<std::unique_ptr<Instruction>> &insts() const {
+    return Insts;
+  }
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back()->isTerminator();
+  }
+  Instruction *terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back().get();
+  }
+
+  /// Appends \p I; terminators may only be appended last.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Adds a phi instruction (order among phis is irrelevant semantically).
+  Instruction *addPhi(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately before the terminator (copy insertion point).
+  Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I at body position \p Index (0 = before the first non-phi).
+  Instruction *insertAt(unsigned Index, std::unique_ptr<Instruction> I);
+
+  /// Removes the phi \p I from the block.
+  void erasePhi(Instruction *I);
+
+  /// Removes the non-phi instruction \p I from the block.
+  void eraseInst(Instruction *I);
+
+  /// Removes all phis, returning ownership to the caller (SSA destruction
+  /// consumes them in bulk).
+  std::vector<std::unique_ptr<Instruction>> takePhis();
+
+  const std::vector<BasicBlock *> &preds() const { return Preds; }
+  unsigned getNumPreds() const { return static_cast<unsigned>(Preds.size()); }
+
+  /// Index of \p P in the predecessor list; asserts when absent.
+  unsigned predIndex(const BasicBlock *P) const;
+
+  /// Rewrites the predecessor entry \p Old to \p New, leaving phi operands
+  /// untouched (the value now flows along the new edge; used by critical
+  /// edge splitting).
+  void replacePred(BasicBlock *Old, BasicBlock *New);
+
+  /// Successor blocks as named by the terminator.
+  const std::vector<BasicBlock *> &succs() const {
+    return terminator()->successors();
+  }
+
+  /// Number of non-phi instructions.
+  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
+
+private:
+  friend class Function;
+  BasicBlock(unsigned Id, std::string Name, Function *Parent)
+      : Id(Id), Name(std::move(Name)), Parent(Parent) {}
+
+  unsigned Id;
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Phis;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace fcc
+
+#endif // FCC_IR_BASICBLOCK_H

@@ -1,0 +1,76 @@
+//===- ir/Function.cpp ----------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace fcc;
+
+Variable *Function::makeVariable(const std::string &VarName,
+                                 const Variable *Origin) {
+  unsigned Id = static_cast<unsigned>(Vars.size());
+  Vars.push_back(std::unique_ptr<Variable>(new Variable(Id, VarName, Origin)));
+  return Vars.back().get();
+}
+
+BasicBlock *Function::makeBlock(const std::string &BlockName) {
+  unsigned Id = static_cast<unsigned>(Blocks.size());
+  Blocks.push_back(
+      std::unique_ptr<BasicBlock>(new BasicBlock(Id, BlockName, this)));
+  return Blocks.back().get();
+}
+
+bool Function::isParam(const Variable *V) const {
+  return std::find(Params.begin(), Params.end(), V) != Params.end();
+}
+
+BasicBlock *Function::findBlock(const std::string &BlockName) const {
+  for (const auto &B : Blocks)
+    if (B->name() == BlockName)
+      return B.get();
+  return nullptr;
+}
+
+Variable *Function::findVariable(const std::string &VarName) const {
+  for (const auto &V : Vars)
+    if (V->name() == VarName)
+      return V.get();
+  return nullptr;
+}
+
+void Function::recomputePreds() {
+  for (const auto &B : Blocks) {
+    assert(B->phis().empty() &&
+           "recomputePreds would break phi operand ordering");
+    B->Preds.clear();
+  }
+  for (const auto &B : Blocks) {
+    if (!B->hasTerminator())
+      continue;
+    for (BasicBlock *S : B->terminator()->successors())
+      S->Preds.push_back(B.get());
+  }
+}
+
+unsigned Function::instructionCount() const {
+  unsigned Total = 0;
+  for (const auto &B : Blocks)
+    Total += static_cast<unsigned>(B->phis().size() + B->insts().size());
+  return Total;
+}
+
+unsigned Function::phiCount() const {
+  unsigned Total = 0;
+  for (const auto &B : Blocks)
+    Total += static_cast<unsigned>(B->phis().size());
+  return Total;
+}
+
+unsigned Function::staticCopyCount() const {
+  unsigned Total = 0;
+  for (const auto &B : Blocks)
+    for (const auto &I : B->insts())
+      if (I->isCopy())
+        ++Total;
+  return Total;
+}

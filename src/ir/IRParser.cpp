@@ -1,0 +1,609 @@
+//===- ir/IRParser.cpp ----------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Opcode.h"
+#include "ir/Variable.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+enum class TokenKind {
+  Ident,      // bare identifier (keywords, labels, mnemonics)
+  VarRef,     // %name
+  FuncRef,    // @name
+  Integer,    // possibly negative integer literal
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Equals,
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind Kind;
+  std::string Text; // identifier payload (without sigil)
+  int64_t Value = 0;
+  unsigned Line = 0;
+};
+
+/// Splits the input into tokens; reports the first lexical error.
+class Lexer {
+public:
+  Lexer(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(std::vector<Token> &Out);
+
+private:
+  bool lexOne(std::vector<Token> &Out);
+  void fail(const std::string &Message) {
+    Error = "line " + std::to_string(Line) + ": " + Message;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+bool Lexer::run(std::vector<Token> &Out) {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == ';') { // Comment to end of line.
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (!lexOne(Out))
+      return false;
+  }
+  Out.push_back({TokenKind::EndOfFile, "", 0, Line});
+  return true;
+}
+
+bool Lexer::lexOne(std::vector<Token> &Out) {
+  auto IsIdentChar = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+  };
+  auto ReadIdent = [&]() {
+    size_t Start = Pos;
+    while (Pos < Text.size() && IsIdentChar(Text[Pos]))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  };
+
+  char C = Text[Pos];
+  switch (C) {
+  case '(':
+    Out.push_back({TokenKind::LParen, "", 0, Line});
+    ++Pos;
+    return true;
+  case ')':
+    Out.push_back({TokenKind::RParen, "", 0, Line});
+    ++Pos;
+    return true;
+  case '{':
+    Out.push_back({TokenKind::LBrace, "", 0, Line});
+    ++Pos;
+    return true;
+  case '}':
+    Out.push_back({TokenKind::RBrace, "", 0, Line});
+    ++Pos;
+    return true;
+  case '[':
+    Out.push_back({TokenKind::LBracket, "", 0, Line});
+    ++Pos;
+    return true;
+  case ']':
+    Out.push_back({TokenKind::RBracket, "", 0, Line});
+    ++Pos;
+    return true;
+  case ',':
+    Out.push_back({TokenKind::Comma, "", 0, Line});
+    ++Pos;
+    return true;
+  case ':':
+    Out.push_back({TokenKind::Colon, "", 0, Line});
+    ++Pos;
+    return true;
+  case '=':
+    Out.push_back({TokenKind::Equals, "", 0, Line});
+    ++Pos;
+    return true;
+  case '%': {
+    ++Pos;
+    std::string Name = ReadIdent();
+    if (Name.empty()) {
+      fail("expected variable name after '%'");
+      return false;
+    }
+    Out.push_back({TokenKind::VarRef, std::move(Name), 0, Line});
+    return true;
+  }
+  case '@': {
+    ++Pos;
+    std::string Name = ReadIdent();
+    if (Name.empty()) {
+      fail("expected function name after '@'");
+      return false;
+    }
+    Out.push_back({TokenKind::FuncRef, std::move(Name), 0, Line});
+    return true;
+  }
+  default:
+    break;
+  }
+
+  if (C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      fail("expected digits in integer literal");
+      return false;
+    }
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    Token T{TokenKind::Integer, "", 0, Line};
+    T.Value = std::stoll(std::string(Text.substr(Start, Pos - Start)));
+    Out.push_back(std::move(T));
+    return true;
+  }
+
+  if (IsIdentChar(C)) {
+    Out.push_back({TokenKind::Ident, ReadIdent(), 0, Line});
+    return true;
+  }
+
+  fail(std::string("unexpected character '") + C + "'");
+  return false;
+}
+
+/// Mnemonic table for value-producing and effect opcodes.
+std::optional<Opcode> mnemonicToOpcode(const std::string &Name) {
+  for (unsigned I = 0; I != static_cast<unsigned>(Opcode::NumOpcodes); ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    if (Name == opcodeName(Op))
+      return Op;
+  }
+  return std::nullopt;
+}
+
+/// Parses the token stream into a Module.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string &Error)
+      : Tokens(std::move(Tokens)), Error(Error) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  struct PendingPhiArg {
+    Operand Value;
+    std::string PredName;
+    unsigned Line;
+  };
+  struct PendingPhi {
+    BasicBlock *Block;
+    Variable *Def;
+    std::vector<PendingPhiArg> Args;
+    unsigned Line;
+  };
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() { return Tokens[Pos++]; }
+  bool check(TokenKind K) const { return peek().Kind == K; }
+  bool accept(TokenKind K) {
+    if (!check(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool expect(TokenKind K, const char *What) {
+    if (accept(K))
+      return true;
+    fail(std::string("expected ") + What);
+    return false;
+  }
+  void fail(const std::string &Message) {
+    Error = "line " + std::to_string(peek().Line) + ": " + Message;
+  }
+
+  bool parseFunction(Module &M);
+  bool parseBlockBody(Function &F, BasicBlock *B,
+                      std::vector<PendingPhi> &Phis);
+  bool parseStatement(Function &F, BasicBlock *B,
+                      std::vector<PendingPhi> &Phis);
+  bool parseOperand(Function &F, Operand &Out);
+  bool resolvePhis(Function &F, std::vector<PendingPhi> &Phis);
+
+  Variable *getVariable(Function &F, const std::string &Name) {
+    auto It = VarByName.find(Name);
+    if (It != VarByName.end())
+      return It->second;
+    Variable *V = F.makeVariable(Name);
+    VarByName.emplace(Name, V);
+    return V;
+  }
+
+  std::vector<Token> Tokens;
+  std::string &Error;
+  size_t Pos = 0;
+  std::map<std::string, Variable *> VarByName;
+  std::map<std::string, BasicBlock *> BlockByName;
+};
+
+std::unique_ptr<Module> Parser::run() {
+  auto M = std::make_unique<Module>();
+  while (!check(TokenKind::EndOfFile)) {
+    if (!parseFunction(*M))
+      return nullptr;
+  }
+  return M;
+}
+
+bool Parser::parseFunction(Module &M) {
+  VarByName.clear();
+  BlockByName.clear();
+
+  const Token &Kw = advance();
+  if (Kw.Kind != TokenKind::Ident || Kw.Text != "func") {
+    --Pos;
+    fail("expected 'func'");
+    return false;
+  }
+  if (!check(TokenKind::FuncRef)) {
+    fail("expected '@name' after 'func'");
+    return false;
+  }
+  Function *F = M.makeFunction(advance().Text);
+
+  if (!expect(TokenKind::LParen, "'('"))
+    return false;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::VarRef)) {
+        fail("expected parameter '%name'");
+        return false;
+      }
+      const std::string &Name = advance().Text;
+      if (VarByName.count(Name)) {
+        fail("duplicate parameter '%" + Name + "'");
+        return false;
+      }
+      F->addParam(getVariable(*F, Name));
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "')'"))
+    return false;
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return false;
+
+  // Pre-scan this function's tokens to create blocks in textual order, so
+  // forward branch references resolve and Blocks[0] is the first label.
+  unsigned Depth = 1;
+  for (size_t Scan = Pos; Scan < Tokens.size() && Depth > 0; ++Scan) {
+    const Token &T = Tokens[Scan];
+    if (T.Kind == TokenKind::LBrace)
+      ++Depth;
+    else if (T.Kind == TokenKind::RBrace)
+      --Depth;
+    else if (T.Kind == TokenKind::Ident && Scan + 1 < Tokens.size() &&
+             Tokens[Scan + 1].Kind == TokenKind::Colon) {
+      if (BlockByName.count(T.Text)) {
+        Error = "line " + std::to_string(T.Line) + ": duplicate label '" +
+                T.Text + "'";
+        return false;
+      }
+      BlockByName.emplace(T.Text, F->makeBlock(T.Text));
+    }
+  }
+  if (BlockByName.empty()) {
+    fail("function has no blocks");
+    return false;
+  }
+
+  std::vector<PendingPhi> Phis;
+  while (!accept(TokenKind::RBrace)) {
+    if (check(TokenKind::EndOfFile)) {
+      fail("unexpected end of input inside function");
+      return false;
+    }
+    if (!check(TokenKind::Ident) || Tokens[Pos + 1].Kind != TokenKind::Colon) {
+      fail("expected block label");
+      return false;
+    }
+    BasicBlock *B = BlockByName[advance().Text];
+    advance(); // ':'
+    if (!parseBlockBody(*F, B, Phis))
+      return false;
+  }
+
+  for (const auto &B : F->blocks()) {
+    if (!B->hasTerminator()) {
+      Error = "block '" + B->name() + "' in function '" + F->name() +
+              "' lacks a terminator";
+      return false;
+    }
+  }
+  F->recomputePreds();
+  return resolvePhis(*F, Phis);
+}
+
+bool Parser::parseBlockBody(Function &F, BasicBlock *B,
+                            std::vector<PendingPhi> &Phis) {
+  // Statements continue until the next label, '}' or EOF.
+  while (true) {
+    if (check(TokenKind::RBrace) || check(TokenKind::EndOfFile))
+      return true;
+    if (check(TokenKind::Ident) && Tokens[Pos + 1].Kind == TokenKind::Colon)
+      return true;
+    if (!parseStatement(F, B, Phis))
+      return false;
+  }
+}
+
+bool Parser::parseOperand(Function &F, Operand &Out) {
+  if (check(TokenKind::VarRef)) {
+    Out = Operand::var(getVariable(F, advance().Text));
+    return true;
+  }
+  if (check(TokenKind::Integer)) {
+    Out = Operand::imm(advance().Value);
+    return true;
+  }
+  fail("expected operand ('%name' or integer)");
+  return false;
+}
+
+bool Parser::parseStatement(Function &F, BasicBlock *B,
+                            std::vector<PendingPhi> &Phis) {
+  unsigned Line = peek().Line;
+
+  if (B->hasTerminator()) {
+    fail("statement after terminator in block '" + B->name() + "'");
+    return false;
+  }
+
+  // Value-producing statement: %d = op ...
+  if (check(TokenKind::VarRef)) {
+    Variable *Def = getVariable(F, advance().Text);
+    if (!expect(TokenKind::Equals, "'='"))
+      return false;
+    if (!check(TokenKind::Ident)) {
+      fail("expected opcode mnemonic");
+      return false;
+    }
+    std::string Mnemonic = advance().Text;
+    std::optional<Opcode> Op = mnemonicToOpcode(Mnemonic);
+    if (!Op || !opcodeHasDef(*Op)) {
+      fail("unknown value opcode '" + Mnemonic + "'");
+      return false;
+    }
+
+    if (*Op == Opcode::Phi) {
+      PendingPhi P{B, Def, {}, Line};
+      do {
+        if (!expect(TokenKind::LBracket, "'['"))
+          return false;
+        PendingPhiArg Arg;
+        Arg.Line = peek().Line;
+        if (!parseOperand(F, Arg.Value))
+          return false;
+        if (!expect(TokenKind::Comma, "','"))
+          return false;
+        if (!check(TokenKind::Ident)) {
+          fail("expected predecessor label in phi");
+          return false;
+        }
+        Arg.PredName = advance().Text;
+        if (!expect(TokenKind::RBracket, "']'"))
+          return false;
+        P.Args.push_back(std::move(Arg));
+      } while (accept(TokenKind::Comma));
+      Phis.push_back(std::move(P));
+      return true;
+    }
+
+    if (*Op == Opcode::Const) {
+      if (!check(TokenKind::Integer)) {
+        fail("'const' requires an integer literal");
+        return false;
+      }
+      std::vector<Operand> Ops = {Operand::imm(advance().Value)};
+      B->append(std::make_unique<Instruction>(*Op, Def, std::move(Ops)));
+      return true;
+    }
+
+    int NumOps = opcodeNumOperands(*Op);
+    assert(NumOps >= 0 && "phi handled above");
+    std::vector<Operand> Ops;
+    for (int I = 0; I != NumOps; ++I) {
+      if (I != 0 && !expect(TokenKind::Comma, "','"))
+        return false;
+      Operand O;
+      if (!parseOperand(F, O))
+        return false;
+      Ops.push_back(O);
+    }
+    if (*Op == Opcode::Copy && !Ops[0].isVar()) {
+      fail("'copy' source must be a variable (use 'const' for immediates)");
+      return false;
+    }
+    B->append(std::make_unique<Instruction>(*Op, Def, std::move(Ops)));
+    return true;
+  }
+
+  // Effect / control statements.
+  if (!check(TokenKind::Ident)) {
+    fail("expected statement");
+    return false;
+  }
+  std::string Mnemonic = advance().Text;
+  std::optional<Opcode> Op = mnemonicToOpcode(Mnemonic);
+  if (!Op || opcodeHasDef(*Op)) {
+    fail("unknown statement '" + Mnemonic + "'");
+    return false;
+  }
+
+  auto ParseLabel = [&](BasicBlock *&Out) {
+    if (!check(TokenKind::Ident)) {
+      fail("expected block label");
+      return false;
+    }
+    const std::string &Name = advance().Text;
+    auto It = BlockByName.find(Name);
+    if (It == BlockByName.end()) {
+      fail("unknown block label '" + Name + "'");
+      return false;
+    }
+    Out = It->second;
+    return true;
+  };
+
+  switch (*Op) {
+  case Opcode::Store: {
+    Operand Addr, Val;
+    if (!parseOperand(F, Addr) || !expect(TokenKind::Comma, "','") ||
+        !parseOperand(F, Val))
+      return false;
+    B->append(std::make_unique<Instruction>(Opcode::Store, nullptr,
+                                            std::vector<Operand>{Addr, Val}));
+    return true;
+  }
+  case Opcode::Br: {
+    BasicBlock *Target = nullptr;
+    if (!ParseLabel(Target))
+      return false;
+    B->append(std::make_unique<Instruction>(
+        Opcode::Br, nullptr, std::vector<Operand>{},
+        std::vector<BasicBlock *>{Target}));
+    return true;
+  }
+  case Opcode::CondBr: {
+    Operand Cond;
+    BasicBlock *Then = nullptr, *Else = nullptr;
+    if (!parseOperand(F, Cond) || !expect(TokenKind::Comma, "','") ||
+        !ParseLabel(Then) || !expect(TokenKind::Comma, "','") ||
+        !ParseLabel(Else))
+      return false;
+    if (Then == Else) {
+      Error = "line " + std::to_string(Line) +
+              ": 'cbr' successors must be distinct (multi-edges would break "
+              "phi/predecessor alignment)";
+      return false;
+    }
+    B->append(std::make_unique<Instruction>(
+        Opcode::CondBr, nullptr, std::vector<Operand>{Cond},
+        std::vector<BasicBlock *>{Then, Else}));
+    return true;
+  }
+  case Opcode::Ret: {
+    Operand Val;
+    if (!parseOperand(F, Val))
+      return false;
+    B->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
+                                            std::vector<Operand>{Val}));
+    return true;
+  }
+  default:
+    fail("unknown statement '" + Mnemonic + "'");
+    return false;
+  }
+}
+
+bool Parser::resolvePhis(Function &F, std::vector<PendingPhi> &Phis) {
+  (void)F;
+  for (PendingPhi &P : Phis) {
+    BasicBlock *B = P.Block;
+    std::vector<Operand> Ordered(B->getNumPreds());
+    std::vector<bool> Seen(B->getNumPreds(), false);
+    if (P.Args.size() != B->getNumPreds()) {
+      Error = "line " + std::to_string(P.Line) + ": phi in block '" +
+              B->name() + "' has " + std::to_string(P.Args.size()) +
+              " incoming values but the block has " +
+              std::to_string(B->getNumPreds()) + " predecessors";
+      return false;
+    }
+    for (const PendingPhiArg &Arg : P.Args) {
+      auto It = BlockByName.find(Arg.PredName);
+      if (It == BlockByName.end()) {
+        Error = "line " + std::to_string(Arg.Line) + ": unknown phi block '" +
+                Arg.PredName + "'";
+        return false;
+      }
+      bool Found = false;
+      for (unsigned I = 0, E = B->getNumPreds(); I != E; ++I) {
+        if (B->preds()[I] == It->second) {
+          if (Seen[I]) {
+            Error = "line " + std::to_string(Arg.Line) +
+                    ": duplicate phi entry for block '" + Arg.PredName + "'";
+            return false;
+          }
+          Seen[I] = true;
+          Ordered[I] = Arg.Value;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        Error = "line " + std::to_string(Arg.Line) + ": block '" +
+                Arg.PredName + "' is not a predecessor of '" + B->name() + "'";
+        return false;
+      }
+    }
+    B->addPhi(std::make_unique<Instruction>(Opcode::Phi, P.Def,
+                                            std::move(Ordered)));
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Module> fcc::parseModule(std::string_view Text,
+                                         std::string &Error) {
+  std::vector<Token> Tokens;
+  Lexer Lex(Text, Error);
+  if (!Lex.run(Tokens))
+    return nullptr;
+  Parser P(std::move(Tokens), Error);
+  return P.run();
+}
+
+std::unique_ptr<Module> fcc::parseSingleFunctionOrDie(std::string_view Text) {
+  std::string Error;
+  std::unique_ptr<Module> M = parseModule(Text, Error);
+  if (!M || M->size() != 1) {
+    std::fprintf(stderr, "embedded IR is malformed: %s\n",
+                 M ? "expected exactly one function" : Error.c_str());
+    std::abort();
+  }
+  return M;
+}

@@ -1,0 +1,93 @@
+//===- ir/IRPrinter.cpp ---------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Variable.h"
+
+using namespace fcc;
+
+static void printOperand(std::string &Out, const Operand &O) {
+  if (O.isVar()) {
+    Out += '%';
+    Out += O.getVar()->name();
+  } else {
+    Out += std::to_string(O.getImm());
+  }
+}
+
+std::string fcc::printInstruction(const Instruction &I) {
+  std::string Out;
+  if (Variable *Def = I.getDef()) {
+    Out += '%';
+    Out += Def->name();
+    Out += " = ";
+  }
+  Out += opcodeName(I.opcode());
+
+  if (I.isPhi()) {
+    const BasicBlock *B = I.getParent();
+    for (unsigned Idx = 0, E = I.getNumOperands(); Idx != E; ++Idx) {
+      Out += Idx == 0 ? " [" : ", [";
+      printOperand(Out, I.getOperand(Idx));
+      Out += ", ";
+      assert(B && Idx < B->getNumPreds() && "phi/pred mismatch while printing");
+      Out += B->preds()[Idx]->name();
+      Out += ']';
+    }
+    return Out;
+  }
+
+  bool First = true;
+  for (const Operand &O : I.operands()) {
+    Out += First ? " " : ", ";
+    First = false;
+    printOperand(Out, O);
+  }
+  for (const BasicBlock *S : I.successors()) {
+    Out += First ? " " : ", ";
+    First = false;
+    Out += S->name();
+  }
+  return Out;
+}
+
+std::string fcc::printFunction(const Function &F) {
+  std::string Out = "func @" + F.name() + "(";
+  bool First = true;
+  for (const Variable *P : F.params()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += '%';
+    Out += P->name();
+  }
+  Out += ") {\n";
+  for (const auto &B : F.blocks()) {
+    Out += B->name();
+    Out += ":\n";
+    for (const auto &I : B->phis()) {
+      Out += "  ";
+      Out += printInstruction(*I);
+      Out += '\n';
+    }
+    for (const auto &I : B->insts()) {
+      Out += "  ";
+      Out += printInstruction(*I);
+      Out += '\n';
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string fcc::printModule(const Module &M) {
+  std::string Out;
+  for (const auto &F : M.functions()) {
+    Out += printFunction(*F);
+    Out += '\n';
+  }
+  return Out;
+}

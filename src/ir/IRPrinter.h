@@ -1,0 +1,31 @@
+//===- ir/IRPrinter.h - Textual IR output -----------------------*- C++ -*-===//
+///
+/// \file
+/// Renders IR back into the textual form the parser accepts, so that
+/// print(parse(T)) round-trips. Used pervasively by the tests and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_IRPRINTER_H
+#define FCC_IR_IRPRINTER_H
+
+#include <string>
+
+namespace fcc {
+
+class Function;
+class Instruction;
+class Module;
+
+/// Renders one instruction (no trailing newline).
+std::string printInstruction(const Instruction &I);
+
+/// Renders one function.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+} // namespace fcc
+
+#endif // FCC_IR_IRPRINTER_H

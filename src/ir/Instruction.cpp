@@ -1,0 +1,78 @@
+//===- ir/Instruction.cpp -------------------------------------------------===//
+
+#include "ir/Instruction.h"
+#include "ir/Variable.h"
+
+using namespace fcc;
+
+Instruction::Instruction(Opcode Op, Variable *Def,
+                         std::vector<Operand> Operands,
+                         std::vector<BasicBlock *> Successors)
+    : Op(Op), Def(Def), Operands(std::move(Operands)),
+      Successors(std::move(Successors)) {
+  assert((Def == nullptr || opcodeHasDef(Op)) &&
+         "def supplied for a non-defining opcode");
+  int Required = opcodeNumOperands(Op);
+  assert((Required < 0 ||
+          this->Operands.size() == static_cast<size_t>(Required)) &&
+         "wrong operand count for opcode");
+  (void)Required;
+  assert(this->Successors.size() == opcodeNumSuccessors(Op) &&
+         "wrong successor count for opcode");
+}
+
+const char *fcc::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "cbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::NumOpcodes:
+    break;
+  }
+  assert(false && "invalid opcode");
+  return "<invalid>";
+}
+
+bool Instruction::uses(const Variable *V) const {
+  for (const Operand &O : Operands)
+    if (O.isVar() && O.getVar() == V)
+      return true;
+  return false;
+}

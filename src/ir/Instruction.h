@@ -1,0 +1,113 @@
+//===- ir/Instruction.h - Three-address instructions ------------*- C++ -*-===//
+///
+/// \file
+/// Instructions are three-address operations over Variables and immediates.
+/// Phi instructions keep one operand per predecessor, in the same order as
+/// the parent block's predecessor list; terminators carry their successor
+/// blocks directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_INSTRUCTION_H
+#define FCC_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Operand.h"
+#include <cassert>
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+class Variable;
+
+/// One IR operation. Owned by its parent BasicBlock.
+class Instruction {
+public:
+  Instruction(Opcode Op, Variable *Def, std::vector<Operand> Operands,
+              std::vector<BasicBlock *> Successors = {});
+
+  Opcode opcode() const { return Op; }
+  bool isPhi() const { return Op == Opcode::Phi; }
+  bool isCopy() const { return Op == Opcode::Copy; }
+  bool isTerminator() const { return opcodeIsTerminator(Op); }
+
+  /// The defined variable, or nullptr for stores and terminators.
+  Variable *getDef() const { return Def; }
+  void setDef(Variable *V) {
+    assert(opcodeHasDef(Op) && "opcode defines nothing");
+    Def = V;
+  }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  const Operand &getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  Operand &getOperand(unsigned I) {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  const std::vector<Operand> &operands() const { return Operands; }
+  std::vector<Operand> &operands() { return Operands; }
+
+  /// Invokes \p Fn on every variable operand (mutable, so renamers can
+  /// retarget uses in place).
+  template <typename CallableT> void forEachUse(CallableT Fn) {
+    for (Operand &O : Operands)
+      if (O.isVar())
+        Fn(O);
+  }
+
+  /// Invokes \p Fn on every used Variable.
+  template <typename CallableT> void forEachUsedVar(CallableT Fn) const {
+    for (const Operand &O : Operands)
+      if (O.isVar())
+        Fn(O.getVar());
+  }
+
+  /// True when some operand reads \p V.
+  bool uses(const Variable *V) const;
+
+  unsigned getNumSuccessors() const {
+    return static_cast<unsigned>(Successors.size());
+  }
+  BasicBlock *getSuccessor(unsigned I) const {
+    assert(I < Successors.size() && "successor index out of range");
+    return Successors[I];
+  }
+  void setSuccessor(unsigned I, BasicBlock *B) {
+    assert(I < Successors.size() && "successor index out of range");
+    Successors[I] = B;
+  }
+  const std::vector<BasicBlock *> &successors() const { return Successors; }
+
+  /// Phi helpers: adds an incoming operand for a freshly added predecessor.
+  void addPhiOperand(Operand O) {
+    assert(isPhi() && "not a phi");
+    Operands.push_back(O);
+  }
+  /// Phi helpers: removes the incoming operand at predecessor slot \p I.
+  void removePhiOperand(unsigned I) {
+    assert(isPhi() && I < Operands.size() && "bad phi slot");
+    Operands.erase(Operands.begin() + I);
+  }
+
+  BasicBlock *getParent() const { return Parent; }
+
+private:
+  friend class BasicBlock;
+
+  Opcode Op;
+  Variable *Def;
+  std::vector<Operand> Operands;
+  std::vector<BasicBlock *> Successors;
+  BasicBlock *Parent = nullptr;
+};
+
+} // namespace fcc
+
+#endif // FCC_IR_INSTRUCTION_H

@@ -1,0 +1,17 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace fcc;
+
+Function *Module::makeFunction(const std::string &Name) {
+  Funcs.push_back(std::make_unique<Function>(Name));
+  return Funcs.back().get();
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}

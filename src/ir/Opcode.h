@@ -1,0 +1,113 @@
+//===- ir/Opcode.h - Instruction opcodes ------------------------*- C++ -*-===//
+///
+/// \file
+/// Opcode enumeration and static traits for the three-address IR. The set is
+/// deliberately small: enough arithmetic, comparison, memory and control
+/// operations to express the numerical kernels the paper evaluates on, plus
+/// the two opcodes the paper's algorithms revolve around: Copy and Phi.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_OPCODE_H
+#define FCC_IR_OPCODE_H
+
+namespace fcc {
+
+/// Operation kinds. Keep Opcode::NumOpcodes last.
+enum class Opcode {
+  // Value-producing.
+  Const, ///< def = immediate
+  Copy,  ///< def = use0   (the subject of coalescing)
+  Add,
+  Sub,
+  Mul,
+  Div, ///< division by zero yields 0 (defined so workloads never trap)
+  Mod, ///< modulo by zero yields 0
+  Neg,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  Load,  ///< def = memory[use0]
+  Phi,   ///< def = phi of one value per predecessor
+  // Non-value-producing.
+  Store, ///< memory[use0] = use1
+  // Terminators.
+  Br,     ///< unconditional branch to successor 0
+  CondBr, ///< use0 != 0 ? successor 0 : successor 1
+  Ret,    ///< return use0
+
+  NumOpcodes
+};
+
+/// Number of operands the opcode requires, or -1 for Phi (predecessor count).
+constexpr int opcodeNumOperands(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+    return 0;
+  case Opcode::Const: // The single operand must be an immediate.
+  case Opcode::Copy:
+  case Opcode::Neg:
+  case Opcode::Load:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return 1;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::Store:
+    return 2;
+  case Opcode::Phi:
+    return -1;
+  case Opcode::NumOpcodes:
+    break;
+  }
+  return 0;
+}
+
+/// True for opcodes that define a result variable.
+constexpr bool opcodeHasDef(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false;
+  default:
+    return true;
+  }
+}
+
+/// True for opcodes that must terminate a basic block.
+constexpr bool opcodeIsTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+/// Number of successor blocks the terminator names.
+constexpr unsigned opcodeNumSuccessors(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+    return 1;
+  case Opcode::CondBr:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+/// Textual mnemonic used by the printer and parser.
+const char *opcodeName(Opcode Op);
+
+} // namespace fcc
+
+#endif // FCC_IR_OPCODE_H

@@ -1,0 +1,64 @@
+//===- ir/Operand.h - Instruction operands ----------------------*- C++ -*-===//
+///
+/// \file
+/// An Operand is either a Variable use or an immediate constant. Immediates
+/// keep the kernels compact (`%i = add %i, 1`) without a separate constant
+/// pool; the coalescing algorithms only ever look at variable operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_OPERAND_H
+#define FCC_IR_OPERAND_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace fcc {
+
+class Variable;
+
+/// Variable-or-immediate operand.
+class Operand {
+public:
+  Operand() = default;
+
+  static Operand var(Variable *V) {
+    assert(V && "variable operand must be non-null");
+    Operand O;
+    O.Var = V;
+    return O;
+  }
+
+  static Operand imm(int64_t Value) {
+    Operand O;
+    O.Imm = Value;
+    return O;
+  }
+
+  bool isVar() const { return Var != nullptr; }
+  bool isImm() const { return Var == nullptr; }
+
+  Variable *getVar() const {
+    assert(isVar() && "not a variable operand");
+    return Var;
+  }
+
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return Imm;
+  }
+
+  /// Redirects a variable operand at \p V (used by renaming passes).
+  void setVar(Variable *V) {
+    assert(isVar() && V && "can only retarget variable operands");
+    Var = V;
+  }
+
+private:
+  Variable *Var = nullptr;
+  int64_t Imm = 0;
+};
+
+} // namespace fcc
+
+#endif // FCC_IR_OPERAND_H

@@ -1,0 +1,8 @@
+//===- ir/Variable.cpp ----------------------------------------------------===//
+//
+// Variable is header-only; this file anchors it into the library so the
+// header always compiles under the project's warning flags.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Variable.h"

@@ -1,0 +1,55 @@
+//===- ir/Variable.h - IR variables -----------------------------*- C++ -*-===//
+///
+/// \file
+/// A Variable is a named storage location in the register-based IR. Before
+/// SSA construction a variable may have many definitions; after construction
+/// each SSA name is a fresh Variable whose origin() points back at the
+/// source-level variable it versions. Variables carry dense per-function ids
+/// so analyses can key bitsets and arrays by them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_VARIABLE_H
+#define FCC_IR_VARIABLE_H
+
+#include <string>
+
+namespace fcc {
+
+class Function;
+
+/// A (virtual-register) variable owned by a Function.
+class Variable {
+public:
+  /// Dense id, unique within the owning function, stable once assigned.
+  unsigned id() const { return Id; }
+
+  /// Human-readable name, e.g. "i" or "i.2" for an SSA version of "i".
+  const std::string &name() const { return Name; }
+
+  /// For SSA versions, the pre-SSA variable this name versions; nullptr for
+  /// variables that appear in the original program.
+  const Variable *origin() const { return Origin; }
+
+  /// The source-level variable at the root of the origin chain (itself when
+  /// the variable is original).
+  const Variable *rootOrigin() const {
+    const Variable *V = this;
+    while (V->Origin)
+      V = V->Origin;
+    return V;
+  }
+
+private:
+  friend class Function;
+  Variable(unsigned Id, std::string Name, const Variable *Origin)
+      : Id(Id), Name(std::move(Name)), Origin(Origin) {}
+
+  unsigned Id;
+  std::string Name;
+  const Variable *Origin;
+};
+
+} // namespace fcc
+
+#endif // FCC_IR_VARIABLE_H

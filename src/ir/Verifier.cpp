@@ -1,0 +1,227 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+#include "support/IndexSet.h"
+
+#include <algorithm>
+
+using namespace fcc;
+
+static bool failVerify(std::string &Error, const std::string &Message) {
+  Error = Message;
+  return false;
+}
+
+bool fcc::verifyFunction(const Function &F, std::string &Error) {
+  if (F.blocks().empty())
+    return failVerify(Error, "function '" + F.name() + "' has no blocks");
+
+  if (!F.entry()->preds().empty())
+    return failVerify(Error, "entry block '" + F.entry()->name() +
+                                 "' has predecessors");
+
+  // Blocks: ids dense, one terminator, phi shape.
+  for (const auto &B : F.blocks()) {
+    if (F.block(B->id()) != B.get())
+      return failVerify(Error, "block id table corrupt at '" + B->name() + "'");
+    if (!B->hasTerminator())
+      return failVerify(Error, "block '" + B->name() + "' lacks a terminator");
+    for (const auto &I : B->insts()) {
+      if (I->isPhi())
+        return failVerify(Error,
+                          "phi outside the phi list in '" + B->name() + "'");
+      if (I->isTerminator() && I.get() != B->terminator())
+        return failVerify(Error,
+                          "terminator mid-block in '" + B->name() + "'");
+      if (I->getParent() != B.get())
+        return failVerify(Error, "instruction parent link broken in '" +
+                                     B->name() + "'");
+    }
+    for (const auto &I : B->phis()) {
+      if (!I->isPhi())
+        return failVerify(Error,
+                          "non-phi in the phi list of '" + B->name() + "'");
+      if (I->getNumOperands() != B->getNumPreds())
+        return failVerify(Error, "phi operand count does not match the " +
+                                     std::to_string(B->getNumPreds()) +
+                                     " predecessors of '" + B->name() + "'");
+      if (!I->getDef())
+        return failVerify(Error, "phi without a result in '" + B->name() + "'");
+      if (I->getParent() != B.get())
+        return failVerify(Error,
+                          "phi parent link broken in '" + B->name() + "'");
+    }
+  }
+
+  // Edges: successors and predecessor lists must agree as multisets, and
+  // multi-edges are disallowed (they break phi operand addressing).
+  for (const auto &B : F.blocks()) {
+    const auto &Succs = B->terminator()->successors();
+    for (BasicBlock *S : Succs) {
+      if (std::count(Succs.begin(), Succs.end(), S) != 1)
+        return failVerify(Error, "multi-edge from '" + B->name() + "' to '" +
+                                     S->name() + "'");
+      const auto &Preds = S->preds();
+      if (std::count(Preds.begin(), Preds.end(), B.get()) != 1)
+        return failVerify(Error, "edge '" + B->name() + "' -> '" + S->name() +
+                                     "' missing from predecessor list");
+    }
+  }
+  for (const auto &B : F.blocks())
+    for (BasicBlock *P : B->preds()) {
+      const auto &Succs = P->terminator()->successors();
+      if (std::find(Succs.begin(), Succs.end(), B.get()) == Succs.end())
+        return failVerify(Error, "stale predecessor '" + P->name() +
+                                     "' of '" + B->name() + "'");
+    }
+
+  // Operand hygiene.
+  auto CheckVar = [&](const Variable *V) {
+    return V && V->id() < F.numVariables() && F.variable(V->id()) == V;
+  };
+  for (const auto &B : F.blocks()) {
+    auto CheckInst = [&](const Instruction &I) {
+      if (Variable *Def = I.getDef())
+        if (!CheckVar(Def))
+          return failVerify(Error, "foreign def in '" + B->name() + "'");
+      for (const Operand &O : I.operands())
+        if (O.isVar() && !CheckVar(O.getVar()))
+          return failVerify(Error, "foreign operand in '" + B->name() + "'");
+      if (I.opcode() == Opcode::Const && !I.getOperand(0).isImm())
+        return failVerify(Error, "'const' with a variable operand");
+      if (I.isCopy() && !I.getOperand(0).isVar())
+        return failVerify(Error, "'copy' with an immediate operand");
+      return true;
+    };
+    for (const auto &I : B->phis())
+      if (!CheckInst(*I))
+        return false;
+    for (const auto &I : B->insts())
+      if (!CheckInst(*I))
+        return false;
+  }
+
+  // Reachability: every block must be reachable from the entry.
+  std::vector<bool> Reached(F.numBlocks(), false);
+  std::vector<const BasicBlock *> Work{F.entry()};
+  Reached[F.entry()->id()] = true;
+  while (!Work.empty()) {
+    const BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : B->terminator()->successors())
+      if (!Reached[S->id()]) {
+        Reached[S->id()] = true;
+        Work.push_back(S);
+      }
+  }
+  for (const auto &B : F.blocks())
+    if (!Reached[B->id()])
+      return failVerify(Error, "block '" + B->name() + "' is unreachable");
+
+  return true;
+}
+
+namespace {
+
+/// Forward may-be-undefined data-flow. MaybeUndefIn[b] is the set of
+/// variables that may reach b's entry without a definition on some path.
+struct UndefAnalysis {
+  explicit UndefAnalysis(const Function &F)
+      : F(F), DefinedIn(F.numBlocks(), IndexSet(F.numVariables())),
+        MaybeUndefIn(F.numBlocks(), IndexSet(F.numVariables())) {
+    run();
+  }
+
+  void run() {
+    unsigned NumVars = F.numVariables();
+    for (const auto &B : F.blocks()) {
+      IndexSet &Defs = DefinedIn[B->id()];
+      for (const auto &I : B->phis())
+        Defs.insert(I->getDef()->id());
+      for (const auto &I : B->insts())
+        if (Variable *Def = I->getDef())
+          Defs.insert(Def->id());
+    }
+
+    // Entry: everything but the parameters may be undefined.
+    IndexSet &EntryIn = MaybeUndefIn[F.entry()->id()];
+    for (unsigned Id = 0; Id != NumVars; ++Id)
+      EntryIn.insert(Id);
+    for (const Variable *P : F.params())
+      EntryIn.erase(P->id());
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &B : F.blocks()) {
+        for (BasicBlock *S : B->terminator()->successors()) {
+          IndexSet Out = MaybeUndefIn[B->id()];
+          Out.subtract(DefinedIn[B->id()]);
+          Changed |= MaybeUndefIn[S->id()].unionWith(Out);
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<IndexSet> DefinedIn;
+  std::vector<IndexSet> MaybeUndefIn;
+};
+
+} // namespace
+
+std::vector<const Variable *> fcc::findNonStrictVariables(const Function &F) {
+  UndefAnalysis UA(F);
+  IndexSet Bad(F.numVariables());
+
+  for (const auto &B : F.blocks()) {
+    // Phi uses occur on the incoming edge: the value must be defined at the
+    // end of the predecessor.
+    for (const auto &I : B->phis()) {
+      for (unsigned Idx = 0, E = I->getNumOperands(); Idx != E; ++Idx) {
+        const Operand &O = I->getOperand(Idx);
+        if (!O.isVar())
+          continue;
+        const BasicBlock *P = B->preds()[Idx];
+        IndexSet AtEdge = UA.MaybeUndefIn[P->id()];
+        AtEdge.subtract(UA.DefinedIn[P->id()]);
+        if (AtEdge.test(O.getVar()->id()))
+          Bad.insert(O.getVar()->id());
+      }
+    }
+    // Straight-line uses: a within-block definition above the use covers it.
+    IndexSet Undef = UA.MaybeUndefIn[B->id()];
+    for (const auto &I : B->insts()) {
+      I->forEachUsedVar([&](Variable *V) {
+        if (Undef.test(V->id()))
+          Bad.insert(V->id());
+      });
+      if (Variable *Def = I->getDef())
+        Undef.erase(Def->id());
+    }
+  }
+
+  std::vector<const Variable *> Result;
+  Bad.forEach([&](unsigned Id) { Result.push_back(F.variable(Id)); });
+  return Result;
+}
+
+bool fcc::isStrict(const Function &F) {
+  return findNonStrictVariables(F).empty();
+}
+
+unsigned fcc::enforceStrictness(Function &F) {
+  std::vector<const Variable *> Bad = findNonStrictVariables(F);
+  BasicBlock *Entry = F.entry();
+  unsigned Inserted = 0;
+  for (const Variable *V : Bad) {
+    Entry->insertAt(Inserted++, std::make_unique<Instruction>(
+                                    Opcode::Const, const_cast<Variable *>(V),
+                                    std::vector<Operand>{Operand::imm(0)}));
+  }
+  return Inserted;
+}

@@ -1,0 +1,44 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of functions, the strictness check of the paper's
+/// Definition 2.1, and the strictness-enforcement transformation of Section 2
+/// (initialize upward-exposed variables at the entry block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_VERIFIER_H
+#define FCC_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+class Variable;
+
+/// Checks CFG and instruction well-formedness: a terminator per block, no
+/// predecessors of the entry block, phi/predecessor alignment, operands that
+/// belong to the function, reachability of every block, 'const' operands
+/// being immediates, and 'copy' sources being variables. Returns true when
+/// well-formed; otherwise fills \p Error.
+bool verifyFunction(const Function &F, std::string &Error);
+
+/// Definition 2.1: every path from entry to a use of v passes a definition
+/// of v. Parameters count as defined on entry. Returns the variables with a
+/// possibly-undefined use (empty means the function is strict).
+std::vector<const Variable *> findNonStrictVariables(const Function &F);
+
+/// True when the function is strict per Definition 2.1.
+bool isStrict(const Function &F);
+
+/// Makes \p F strict by inserting `v = const 0` at the top of the entry
+/// block for every variable reported by findNonStrictVariables — exactly the
+/// live-in-of-b0 restriction the paper describes. Returns the number of
+/// initializations inserted.
+unsigned enforceStrictness(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_IR_VERIFIER_H

@@ -1,0 +1,63 @@
+//===- opt/CopyPropagation.cpp --------------------------------------------===//
+
+#include "opt/CopyPropagation.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+#include <vector>
+
+using namespace fcc;
+
+unsigned fcc::propagateCopiesLocally(Function &F) {
+  unsigned Retargeted = 0;
+  // CopyOf[v] = the variable whose value v currently holds (nullptr when v
+  // holds its own). Chains collapse as they are built, so lookups are O(1).
+  std::vector<Variable *> CopyOf(F.numVariables(), nullptr);
+  std::vector<unsigned> Dirty; // Entries to reset between blocks.
+
+  for (const auto &B : F.blocks()) {
+    for (unsigned Id : Dirty)
+      CopyOf[Id] = nullptr;
+    Dirty.clear();
+
+    // Phis define at the top: their destinations leave any window opened
+    // by a predecessor (windows are block-local anyway) — nothing to do,
+    // since the map starts clean per block and phi operands are edge uses
+    // that belong to the predecessor's end, where no window can be proven.
+    for (const auto &I : B->insts()) {
+      I->forEachUse([&](Operand &O) {
+        if (Variable *Source = CopyOf[O.getVar()->id()]) {
+          O.setVar(Source);
+          ++Retargeted;
+        }
+      });
+
+      Variable *Def = I->getDef();
+      if (!Def)
+        continue;
+      // A (re)definition closes every window involving the name: both as a
+      // copy destination and as a source other copies still point at.
+      if (CopyOf[Def->id()]) {
+        CopyOf[Def->id()] = nullptr;
+      }
+      for (unsigned Id : Dirty)
+        if (CopyOf[Id] == Def)
+          CopyOf[Id] = nullptr;
+
+      if (I->isCopy()) {
+        Variable *Src = I->getOperand(0).getVar();
+        if (Src != Def) {
+          // Collapse chains: if the source itself mirrors another name,
+          // point straight at the origin (already done by the use rewrite
+          // above, but the source may not have been rewritten when the
+          // copy's operand was an origin already).
+          CopyOf[Def->id()] = Src;
+          Dirty.push_back(Def->id());
+        }
+      }
+    }
+  }
+  return Retargeted;
+}

@@ -1,0 +1,31 @@
+//===- opt/CopyPropagation.h - Local copy propagation -----------*- C++ -*-===//
+///
+/// \file
+/// Block-local copy propagation: after `d = copy s`, uses of d read s
+/// directly while neither name has been redefined. This is the standalone
+/// counterpart of the copy folding the SSA builder performs during renaming
+/// (Section 1 of the paper: "each variable that is defined by a copy is
+/// replaced in subsequent operations by the source of that copy") — valid
+/// on arbitrary, even non-SSA, code because the window closes at any
+/// redefinition and at block boundaries.
+///
+/// Propagation alone removes no instructions; it retargets uses so that a
+/// following eliminateDeadCode() pass can delete the copies that became
+/// dead. The pair models the paper's pre-SSA cleanup pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_OPT_COPYPROPAGATION_H
+#define FCC_OPT_COPYPROPAGATION_H
+
+namespace fcc {
+
+class Function;
+
+/// Rewrites uses of copy destinations to read the copy source within each
+/// block's safe window. Returns the number of operands retargeted.
+unsigned propagateCopiesLocally(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_OPT_COPYPROPAGATION_H

@@ -1,0 +1,28 @@
+//===- opt/DeadCodeElim.h - Liveness-driven DCE -----------------*- C++ -*-===//
+///
+/// \file
+/// Dead-code elimination, the cleanup pass Section 2 of the paper pairs
+/// with strictness enforcement: "The initializations that are unnecessary
+/// can then be removed by a dead-code elimination pass." Works on both
+/// pre-SSA and SSA-form functions (phis included) and is useful after any
+/// of the destruction pipelines, whose edge copies can orphan values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_OPT_DEADCODEELIM_H
+#define FCC_OPT_DEADCODEELIM_H
+
+namespace fcc {
+
+class Function;
+
+/// Deletes value-producing instructions (and phis) whose results are dead
+/// at their definition point. Stores, branches and returns are always
+/// live; every arithmetic operation here is total, so no value op is kept
+/// for faults. Iterates to a fixed point (removing a use can kill the
+/// instruction feeding it). Returns the number of instructions removed.
+unsigned eliminateDeadCode(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_OPT_DEADCODEELIM_H

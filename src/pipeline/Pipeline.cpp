@@ -1,0 +1,104 @@
+//===- pipeline/Pipeline.cpp ----------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "baseline/ChaitinBriggsCoalescer.h"
+#include "coalesce/FastCoalescer.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ssa/SSABuilder.h"
+#include "ssa/StandardDestruction.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace fcc;
+
+const char *fcc::pipelineName(PipelineKind Kind) {
+  switch (Kind) {
+  case PipelineKind::Standard:
+    return "Standard";
+  case PipelineKind::New:
+    return "New";
+  case PipelineKind::Briggs:
+    return "Briggs";
+  case PipelineKind::BriggsImproved:
+    return "Briggs*";
+  }
+  return "<invalid>";
+}
+
+PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind) {
+  PipelineResult Result;
+  Result.Kind = Kind;
+  Result.CriticalEdgesSplit = splitCriticalEdges(F);
+
+  Timer Clock; // The paper's timer: starts right before SSA construction.
+
+  switch (Kind) {
+  case PipelineKind::Standard: {
+    DominatorTree DT(F);
+    SSABuildOptions Opts;
+    Opts.FoldCopies = true;
+    SSABuildStats Ssa = buildSSA(F, DT, Opts);
+    DestructionStats Destr = destroySSAStandard(F);
+    Result.TimeMicros = Clock.elapsedMicros();
+    Result.PhisInserted = Ssa.PhisInserted;
+    Result.PeakBytes =
+        std::max(Ssa.PeakBytes, Destr.PeakBytes) + DT.bytes();
+    break;
+  }
+  case PipelineKind::New: {
+    DominatorTree DT(F);
+    SSABuildOptions Opts;
+    Opts.FoldCopies = true;
+    SSABuildStats Ssa = buildSSA(F, DT, Opts);
+    Liveness LV(F);
+    FastCoalesceStats Co = coalesceSSA(F, DT, LV);
+    Result.TimeMicros = Clock.elapsedMicros();
+    Result.PhisInserted = Ssa.PhisInserted;
+    Result.PeakBytes =
+        std::max(Ssa.PeakBytes, Co.PeakBytes + LV.bytes()) + DT.bytes();
+    break;
+  }
+  case PipelineKind::Briggs:
+  case PipelineKind::BriggsImproved: {
+    DominatorTree DT(F);
+    SSABuildOptions Opts;
+    Opts.FoldCopies = false;
+    SSABuildStats Ssa = buildSSA(F, DT, Opts);
+    identifyLiveRangeWebs(F);
+    Timer CoalesceClock;
+    BriggsOptions BO;
+    BO.Improved = Kind == PipelineKind::BriggsImproved;
+    BriggsStats Briggs = coalesceCopiesBriggs(F, BO);
+    Result.CoalesceTimeMicros = CoalesceClock.elapsedMicros();
+    Result.TimeMicros = Clock.elapsedMicros();
+    Result.PhisInserted = Ssa.PhisInserted;
+    Result.PeakBytes = std::max(Ssa.PeakBytes, Briggs.PeakBytes) + DT.bytes();
+    Result.GraphBytesPerPass = std::move(Briggs.GraphBytesPerPass);
+    Result.CoalescePasses = Briggs.Iterations;
+    break;
+  }
+  }
+
+  Result.StaticCopies = F.staticCopyCount();
+  return Result;
+}
+
+RoutineReport fcc::runOnRoutine(const RoutineSpec &Spec, PipelineKind Kind,
+                                bool Execute) {
+  RoutineReport Report;
+  Report.Name = Spec.Name;
+  std::unique_ptr<Module> M = Spec.materialize();
+  Function &F = *M->functions()[0];
+  Report.InputStaticCopies = F.staticCopyCount();
+  Report.InputInstructions = F.instructionCount();
+  Report.Compile = runPipeline(F, Kind);
+  if (Execute)
+    Report.Exec = Interpreter().run(F, Spec.Args);
+  return Report;
+}

@@ -1,0 +1,80 @@
+//===- pipeline/Pipeline.h - End-to-end configurations ----------*- C++ -*-===//
+///
+/// \file
+/// The four SSA-round-trip configurations the paper's evaluation compares:
+///
+///   Standard — pruned SSA with copy folding, naive phi instantiation
+///              (Briggs et al.), no copy elimination;
+///   New      — same SSA, the paper's dominance-forest coalescer;
+///   Briggs   — pruned SSA without folding, phi webs as live ranges, the
+///              classic interference-graph build/coalesce loop;
+///   Briggs*  — Briggs with copy-involved-only graph rebuilds (Section 4.1).
+///
+/// Timing follows the paper: the clock starts immediately before SSA
+/// construction and stops when the code is rewritten. Critical edges are
+/// split beforehand ("after we have read in the code").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_PIPELINE_PIPELINE_H
+#define FCC_PIPELINE_PIPELINE_H
+
+#include "interp/Interpreter.h"
+#include "workload/KernelSuite.h"
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+
+/// Which configuration to run.
+enum class PipelineKind { Standard, New, Briggs, BriggsImproved };
+
+/// Display name ("Standard", "New", "Briggs", "Briggs*").
+const char *pipelineName(PipelineKind Kind);
+
+/// Measurements from one pipeline run over one function.
+struct PipelineResult {
+  PipelineKind Kind = PipelineKind::Standard;
+  /// Wall-clock from SSA construction to rewritten code (Table 2).
+  uint64_t TimeMicros = 0;
+  /// Peak bytes of pass-owned data structures (Table 3).
+  size_t PeakBytes = 0;
+  /// Copies left in the rewritten code (Table 5).
+  unsigned StaticCopies = 0;
+  unsigned PhisInserted = 0;
+  unsigned CriticalEdgesSplit = 0;
+  /// Briggs variants: interference-graph bytes per build/coalesce pass
+  /// (Table 1) and the number of passes.
+  std::vector<size_t> GraphBytesPerPass;
+  unsigned CoalescePasses = 0;
+  /// Briggs variants: wall-clock of the coalescing phase alone (Table 1).
+  uint64_t CoalesceTimeMicros = 0;
+};
+
+/// Runs one configuration over \p F in place. \p F must be a verified,
+/// strict, phi-free input program.
+PipelineResult runPipeline(Function &F, PipelineKind Kind);
+
+/// One routine compiled under one configuration, optionally executed.
+struct RoutineReport {
+  std::string Name;
+  PipelineResult Compile;
+  /// Filled when Execute was requested: the transformed routine run on the
+  /// spec's arguments (Table 4's dynamic copies).
+  ExecutionResult Exec;
+  /// Metrics of the unmodified input program, for reference columns.
+  unsigned InputStaticCopies = 0;
+  unsigned InputInstructions = 0;
+};
+
+/// Materializes \p Spec, runs \p Kind, optionally interprets the result.
+RoutineReport runOnRoutine(const RoutineSpec &Spec, PipelineKind Kind,
+                           bool Execute);
+
+} // namespace fcc
+
+#endif // FCC_PIPELINE_PIPELINE_H

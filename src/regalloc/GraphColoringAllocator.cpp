@@ -1,0 +1,117 @@
+//===- regalloc/GraphColoringAllocator.cpp --------------------------------===//
+
+#include "regalloc/GraphColoringAllocator.h"
+
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "baseline/InterferenceGraph.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+#include <algorithm>
+
+using namespace fcc;
+
+RegAllocResult fcc::allocateRegisters(const Function &F,
+                                      const RegAllocOptions &Opts) {
+  assert(F.phiCount() == 0 && "allocate after SSA destruction");
+  unsigned K = Opts.NumRegisters;
+  assert(K > 0 && "need at least one register");
+  unsigned N = F.numVariables();
+
+  Liveness LV(F);
+  InterferenceGraph::BuildOptions BuildOpts;
+  BuildOpts.BuildAdjacencyLists = true;
+  InterferenceGraph Graph(F, LV, BuildOpts);
+
+  // Spill costs: uses and defs weighted 10^depth, Chaitin's classic metric.
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  std::vector<double> Cost(N, 0.0);
+  for (const auto &B : F.blocks()) {
+    double Weight = 1.0;
+    for (unsigned D = LI.loopDepth(B.get()); D != 0; --D)
+      Weight *= 10.0;
+    for (const auto &I : B->insts()) {
+      I->forEachUsedVar([&](Variable *V) { Cost[V->id()] += Weight; });
+      if (Variable *Def = I->getDef())
+        Cost[Def->id()] += Weight;
+    }
+  }
+
+  // Simplify: peel nodes of degree < K; when stuck, push the cheapest
+  // (cost / degree) candidate optimistically.
+  std::vector<unsigned> CurDegree(N, 0);
+  std::vector<bool> OnStack(N, false);
+  for (const auto &V : F.variables())
+    CurDegree[V->id()] = Graph.degree(V.get());
+
+  std::vector<const Variable *> Stack;
+  Stack.reserve(N);
+  unsigned RemainingNodes = N;
+  while (RemainingNodes != 0) {
+    const Variable *Picked = nullptr;
+    // Prefer any trivially colorable node (deterministic: lowest id).
+    for (const auto &V : F.variables())
+      if (!OnStack[V->id()] && CurDegree[V->id()] < K) {
+        Picked = V.get();
+        break;
+      }
+    if (!Picked) {
+      // Blocked: choose the best spill candidate but push it anyway —
+      // Briggs's optimism defers the decision to select.
+      double Best = 0.0;
+      for (const auto &V : F.variables()) {
+        if (OnStack[V->id()])
+          continue;
+        double Ratio = Cost[V->id()] / (CurDegree[V->id()] + 1.0);
+        if (!Picked || Ratio < Best) {
+          Picked = V.get();
+          Best = Ratio;
+        }
+      }
+    }
+    OnStack[Picked->id()] = true;
+    Stack.push_back(Picked);
+    --RemainingNodes;
+    for (unsigned Neighbor : Graph.neighbors(Picked)) {
+      unsigned Id = Graph.nodeVariable(Neighbor)->id();
+      if (!OnStack[Id] && CurDegree[Id] > 0)
+        --CurDegree[Id];
+    }
+  }
+
+  // Select: pop and color against already-colored neighbors.
+  RegAllocResult Result;
+  Result.RegisterOf.assign(N, -1);
+  std::vector<bool> UsedColor(K, false);
+  unsigned MaxColor = 0;
+  bool AnyColored = false;
+  while (!Stack.empty()) {
+    const Variable *V = Stack.back();
+    Stack.pop_back();
+    std::fill(UsedColor.begin(), UsedColor.end(), false);
+    for (unsigned Neighbor : Graph.neighbors(V)) {
+      int Reg = Result.RegisterOf[Graph.nodeVariable(Neighbor)->id()];
+      if (Reg >= 0)
+        UsedColor[static_cast<unsigned>(Reg)] = true;
+    }
+    int Free = -1;
+    for (unsigned C = 0; C != K; ++C)
+      if (!UsedColor[C]) {
+        Free = static_cast<int>(C);
+        break;
+      }
+    if (Free < 0) {
+      Result.Spilled.push_back(V);
+      continue;
+    }
+    Result.RegisterOf[V->id()] = Free;
+    MaxColor = std::max(MaxColor, static_cast<unsigned>(Free));
+    AnyColored = true;
+  }
+  Result.RegistersUsed = AnyColored ? MaxColor + 1 : 0;
+  return Result;
+}

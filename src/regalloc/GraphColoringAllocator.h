@@ -1,0 +1,54 @@
+//===- regalloc/GraphColoringAllocator.h - Coloring allocator ---*- C++ -*-===//
+///
+/// \file
+/// A Chaitin/Briggs graph-coloring register allocator — the paper's stated
+/// future work (Section 5): "design and implementation of a fast
+/// register-allocation algorithm that uses the results presented in this
+/// paper". It consumes the copy-free code the fast coalescer produces, so
+/// live-range identification and coalescing have already happened without
+/// ever building a graph; only the final coloring builds one.
+///
+/// The coloring is Briggs-style optimistic: simplify removes low-degree
+/// nodes first, blocked nodes are pushed anyway, and select either finds a
+/// free color or marks the node spilled (spill cost = uses weighted by loop
+/// depth; no spill-code rewrite — callers get the assignment and the spill
+/// set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_REGALLOC_GRAPHCOLORINGALLOCATOR_H
+#define FCC_REGALLOC_GRAPHCOLORINGALLOCATOR_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+class Variable;
+
+/// Allocation parameters.
+struct RegAllocOptions {
+  unsigned NumRegisters = 8;
+};
+
+/// Result of one allocation.
+struct RegAllocResult {
+  /// Register index per variable id, or -1 when spilled / unused.
+  std::vector<int> RegisterOf;
+  /// Variables that did not receive a register.
+  std::vector<const Variable *> Spilled;
+  /// Number of distinct registers actually used.
+  unsigned RegistersUsed = 0;
+};
+
+/// Colors \p F's variables with Opts.NumRegisters registers. \p F must be
+/// phi-free (run a destruction pipeline first). The assignment is
+/// guaranteed interference-free: two simultaneously-live variables never
+/// share a register.
+RegAllocResult allocateRegisters(const Function &F,
+                                 const RegAllocOptions &Opts);
+
+} // namespace fcc
+
+#endif // FCC_REGALLOC_GRAPHCOLORINGALLOCATOR_H

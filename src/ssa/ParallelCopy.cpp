@@ -1,0 +1,105 @@
+//===- ssa/ParallelCopy.cpp -----------------------------------------------===//
+//
+// The variable-to-variable part follows the ready/to-do sequentialization of
+// Boissinot et al. ("Revisiting Out-of-SSA Translation...", CGO 2009), which
+// itself formalizes the ordering discipline of Briggs et al. that the paper
+// cites: emit tree edges leaves-first; when only cycles remain, break one
+// with a temporary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/ParallelCopy.h"
+
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+#include <map>
+
+using namespace fcc;
+
+SequencedCopies
+fcc::sequentializeParallelCopy(const std::vector<CopyTask> &Tasks, Function &F,
+                               unsigned &TempCounter) {
+  SequencedCopies Result;
+
+  // Split off immediate loads; they only write and so can always go last.
+  std::vector<const CopyTask *> VarTasks;
+  std::vector<const CopyTask *> ImmTasks;
+  for (const CopyTask &T : Tasks) {
+    assert(T.Dst && "copy without destination");
+    if (T.Src.isImm()) {
+      ImmTasks.push_back(&T);
+      continue;
+    }
+    if (T.Src.getVar() == T.Dst)
+      continue; // Self-copy: nothing to do.
+    VarTasks.push_back(&T);
+  }
+
+  // Node bookkeeping, keyed by variable id. Pred[d] = source of the copy
+  // into d; Loc[v] = where v's original value currently lives.
+  std::map<unsigned, Variable *> Pred; // dst id -> src
+  std::map<unsigned, Variable *> Loc;  // var id -> current location
+  auto LocOf = [&](Variable *V) {
+    auto It = Loc.find(V->id());
+    return It == Loc.end() ? nullptr : It->second;
+  };
+
+  for (const CopyTask *T : VarTasks) {
+    assert(!Pred.count(T->Dst->id()) && "duplicate parallel-copy destination");
+    Pred[T->Dst->id()] = T->Src.getVar();
+    Loc[T->Src.getVar()->id()] = T->Src.getVar();
+  }
+
+  std::vector<Variable *> Ready;
+  std::vector<Variable *> Todo;
+  for (const CopyTask *T : VarTasks) {
+    Todo.push_back(T->Dst);
+    // A destination whose own value is not a source can be written at once.
+    if (!Loc.count(T->Dst->id()))
+      Ready.push_back(T->Dst);
+  }
+
+  auto EmitCopy = [&](Variable *Dst, Variable *Src) {
+    Result.Insts.push_back(std::make_unique<Instruction>(
+        Opcode::Copy, Dst, std::vector<Operand>{Operand::var(Src)}));
+  };
+
+  while (!Todo.empty()) {
+    while (!Ready.empty()) {
+      Variable *B = Ready.back();
+      Ready.pop_back();
+      auto PredIt = Pred.find(B->id());
+      if (PredIt == Pred.end())
+        continue; // Already satisfied (e.g. re-queued temp holder).
+      Variable *A = PredIt->second;
+      Variable *C = LocOf(A);
+      assert(C && "source location lost");
+      EmitCopy(B, C);
+      Pred.erase(PredIt);
+      Loc[A->id()] = B;
+      // If a's value just vacated its home and a itself still awaits a
+      // value, a is now writable.
+      if (A == C && Pred.count(A->id()))
+        Ready.push_back(A);
+    }
+    // Only cycles remain. Free one node by parking its value in a temp.
+    Variable *B = Todo.back();
+    Todo.pop_back();
+    if (!Pred.count(B->id()))
+      continue; // Satisfied by an earlier tree walk.
+    assert(LocOf(B) == B &&
+           "a pending destination inside a cycle still holds its own value");
+    Variable *Temp = F.makeVariable("pc.tmp." + std::to_string(TempCounter++));
+    ++Result.TempsUsed;
+    EmitCopy(Temp, B);
+    Loc[B->id()] = Temp;
+    Ready.push_back(B);
+  }
+
+  for (const CopyTask *T : ImmTasks)
+    Result.Insts.push_back(std::make_unique<Instruction>(
+        Opcode::Const, T->Dst, std::vector<Operand>{T->Src}));
+
+  return Result;
+}

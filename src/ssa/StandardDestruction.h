@@ -1,0 +1,35 @@
+//===- ssa/StandardDestruction.h - Naive phi instantiation ------*- C++ -*-===//
+///
+/// \file
+/// The "Standard" baseline of the paper's experiments: the Briggs et al.
+/// phi-instantiation algorithm that replaces every phi with one copy per
+/// incoming edge, making no attempt to eliminate any of them. Copies on each
+/// edge form a parallel copy and are sequenced with swap-safe ordering;
+/// critical edges must have been split beforehand (lost-copy problem).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SSA_STANDARDDESTRUCTION_H
+#define FCC_SSA_STANDARDDESTRUCTION_H
+
+#include <cstddef>
+
+namespace fcc {
+
+class Function;
+
+/// Outcome counters for one destruction.
+struct DestructionStats {
+  unsigned CopiesInserted = 0;
+  unsigned TempsUsed = 0;
+  /// Peak bytes of the pass's side structures (the Waiting copy lists).
+  size_t PeakBytes = 0;
+};
+
+/// Replaces every phi in \p F with copies in the predecessors. \p F must
+/// have no critical edges and be in SSA form; on return it has no phis.
+DestructionStats destroySSAStandard(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_SSA_STANDARDDESTRUCTION_H

@@ -1,0 +1,16 @@
+//===- support/MemoryTracker.cpp ------------------------------------------===//
+//
+// MemoryTracker is header-only; this file anchors the translation unit so the
+// library always has the header compiled under the project's warning flags.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryTracker.h"
+
+namespace fcc {
+namespace {
+/// Compile-time smoke check that the tracker is usable in constant contexts
+/// that only need construction.
+[[maybe_unused]] MemoryTracker makeTracker() { return MemoryTracker(); }
+} // namespace
+} // namespace fcc

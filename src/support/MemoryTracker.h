@@ -1,0 +1,72 @@
+//===- support/MemoryTracker.h - Phase memory accounting --------*- C++ -*-===//
+///
+/// \file
+/// Byte accounting for the paper's memory tables (Tables 1 and 3). Passes
+/// report the footprint of their dominant data structures as they build and
+/// drop them; the tracker records the running total's high-water mark. This
+/// mirrors what the original authors measured: the size of the coalescing
+/// phase's data structures, not allocator noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_MEMORYTRACKER_H
+#define FCC_SUPPORT_MEMORYTRACKER_H
+
+#include <cassert>
+#include <cstddef>
+
+namespace fcc {
+
+/// Tracks current and peak bytes for one compilation phase.
+class MemoryTracker {
+public:
+  /// Registers \p Bytes of newly live data.
+  void allocate(size_t Bytes) {
+    Current += Bytes;
+    if (Current > Peak)
+      Peak = Current;
+  }
+
+  /// Registers \p Bytes of data that went away.
+  void release(size_t Bytes) {
+    assert(Bytes <= Current && "releasing more than is live");
+    Current -= Bytes;
+  }
+
+  /// Replaces a structure's previously reported footprint \p OldBytes with
+  /// \p NewBytes (convenient for structures that grow in place).
+  void adjust(size_t OldBytes, size_t NewBytes) {
+    release(OldBytes);
+    allocate(NewBytes);
+  }
+
+  size_t currentBytes() const { return Current; }
+  size_t peakBytes() const { return Peak; }
+
+  void reset() { Current = Peak = 0; }
+
+private:
+  size_t Current = 0;
+  size_t Peak = 0;
+};
+
+/// RAII helper: accounts \p Bytes for the lifetime of the scope.
+class ScopedBytes {
+public:
+  ScopedBytes(MemoryTracker &Tracker, size_t Bytes)
+      : Tracker(Tracker), Bytes(Bytes) {
+    Tracker.allocate(Bytes);
+  }
+  ~ScopedBytes() { Tracker.release(Bytes); }
+
+  ScopedBytes(const ScopedBytes &) = delete;
+  ScopedBytes &operator=(const ScopedBytes &) = delete;
+
+private:
+  MemoryTracker &Tracker;
+  size_t Bytes;
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_MEMORYTRACKER_H

@@ -1,0 +1,32 @@
+//===- support/SplitMix64.cpp ---------------------------------------------===//
+
+#include "support/SplitMix64.h"
+
+using namespace fcc;
+
+uint64_t SplitMix64::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t SplitMix64::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Rejection-free multiply-shift; bias is negligible for workload synthesis
+  // and, crucially, deterministic everywhere.
+  unsigned __int128 Product = static_cast<unsigned __int128>(next()) * Bound;
+  return static_cast<uint64_t>(Product >> 64);
+}
+
+int64_t SplitMix64::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+bool SplitMix64::chancePercent(unsigned Percent) {
+  assert(Percent <= 100 && "probability over 100%");
+  return nextBelow(100) < Percent;
+}

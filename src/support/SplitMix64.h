@@ -1,0 +1,41 @@
+//===- support/SplitMix64.h - Deterministic RNG -----------------*- C++ -*-===//
+///
+/// \file
+/// Seeded splitmix64 generator. The workload generator and the property
+/// tests need runs that reproduce bit-for-bit across platforms, which rules
+/// out std::mt19937's distribution wrappers (their outputs are unspecified).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_SPLITMIX64_H
+#define FCC_SUPPORT_SPLITMIX64_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace fcc {
+
+/// splitmix64: tiny, fast, and statistically solid for workload synthesis.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// True with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent);
+
+private:
+  uint64_t State;
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_SPLITMIX64_H

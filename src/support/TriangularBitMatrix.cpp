@@ -1,0 +1,36 @@
+//===- support/TriangularBitMatrix.cpp ------------------------------------===//
+
+#include "support/TriangularBitMatrix.h"
+
+#ifdef _MSC_VER
+#include <intrin.h>
+#endif
+
+using namespace fcc;
+
+void TriangularBitMatrix::reset(unsigned NumElements) {
+  N = NumElements;
+  size_t Bits = static_cast<size_t>(N) * (N ? N - 1 : 0) / 2;
+  Words.assign((Bits + 63) / 64, 0);
+}
+
+void TriangularBitMatrix::set(unsigned A, unsigned B) {
+  if (A == B)
+    return;
+  size_t Idx = index(A, B);
+  Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+}
+
+bool TriangularBitMatrix::test(unsigned A, unsigned B) const {
+  if (A == B)
+    return false;
+  size_t Idx = index(A, B);
+  return (Words[Idx / 64] >> (Idx % 64)) & 1;
+}
+
+size_t TriangularBitMatrix::count() const {
+  size_t Total = 0;
+  for (uint64_t W : Words)
+    Total += static_cast<size_t>(__builtin_popcountll(W));
+  return Total;
+}

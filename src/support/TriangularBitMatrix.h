@@ -1,0 +1,64 @@
+//===- support/TriangularBitMatrix.h - Chaitin's bit matrix -----*- C++ -*-===//
+///
+/// \file
+/// The lower-triangular bit matrix Chaitin-style allocators use to answer
+/// "do these two live ranges interfere?" in O(1). Section 4.1 of the paper
+/// measures exactly this structure: it requires n^2/2 bits that must be
+/// cleared on every build/coalesce iteration, which is what the improved
+/// "Briggs*" coalescer shrinks by three orders of magnitude.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_TRIANGULARBITMATRIX_H
+#define FCC_SUPPORT_TRIANGULARBITMATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fcc {
+
+/// Symmetric boolean relation over [0, size()) stored as a packed lower
+/// triangle (diagonal excluded; an element never relates to itself).
+class TriangularBitMatrix {
+public:
+  TriangularBitMatrix() = default;
+  explicit TriangularBitMatrix(unsigned NumElements) { reset(NumElements); }
+
+  /// Clears the matrix and resizes it for \p NumElements elements. This is
+  /// the expensive operation the paper's Section 4.1 attributes the classic
+  /// coalescer's cost to.
+  void reset(unsigned NumElements);
+
+  unsigned size() const { return N; }
+
+  /// Sets the (symmetric) bit for the pair {A, B}. A == B is ignored.
+  void set(unsigned A, unsigned B);
+
+  /// Tests the (symmetric) bit for the pair {A, B}. A == B is false.
+  bool test(unsigned A, unsigned B) const;
+
+  /// Number of set pairs.
+  size_t count() const;
+
+  /// Bytes occupied by the packed triangle (the paper's memory metric).
+  size_t bytes() const { return Words.capacity() * sizeof(uint64_t); }
+
+private:
+  size_t index(unsigned A, unsigned B) const {
+    assert(A < N && B < N && "pair out of range");
+    assert(A != B && "diagonal is not stored");
+    if (A < B)
+      std::swap(A, B);
+    // Row A (A >= 1) starts at A*(A-1)/2 and has A entries (columns 0..A-1).
+    return static_cast<size_t>(A) * (A - 1) / 2 + B;
+  }
+
+  unsigned N = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_TRIANGULARBITMATRIX_H

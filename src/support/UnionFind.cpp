@@ -1,0 +1,60 @@
+//===- support/UnionFind.cpp ----------------------------------------------===//
+
+#include "support/UnionFind.h"
+
+using namespace fcc;
+
+void UnionFind::grow(unsigned NumElements) {
+  assert(NumElements >= Parent.size() && "UnionFind cannot shrink");
+  unsigned Old = size();
+  Parent.resize(NumElements);
+  Size.resize(NumElements, 1);
+  for (unsigned I = Old; I < NumElements; ++I)
+    Parent[I] = I;
+}
+
+unsigned UnionFind::find(unsigned X) {
+  assert(X < Parent.size() && "find() out of range");
+  while (Parent[X] != X) {
+    Parent[X] = Parent[Parent[X]]; // Path halving.
+    X = Parent[X];
+  }
+  return X;
+}
+
+unsigned UnionFind::findConst(unsigned X) const {
+  assert(X < Parent.size() && "findConst() out of range");
+  while (Parent[X] != X)
+    X = Parent[X];
+  return X;
+}
+
+unsigned UnionFind::unite(unsigned A, unsigned B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return A;
+  if (Size[A] < Size[B])
+    std::swap(A, B);
+  Parent[B] = A;
+  Size[A] += Size[B];
+  return A;
+}
+
+void UnionFind::compressAll() {
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    (void)find(I);
+}
+
+void UnionFind::evict(unsigned X) {
+  assert(X < Parent.size() && "evict() out of range");
+  unsigned Root = find(X);
+  if (Root == X && Size[X] == 1)
+    return; // Already a singleton.
+  assert(Root != X &&
+         "evicting a set representative would orphan its members; "
+         "compressAll() and evict non-roots only");
+  Size[Root] -= 1;
+  Parent[X] = X;
+  Size[X] = 1;
+}

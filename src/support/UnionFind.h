@@ -1,0 +1,81 @@
+//===- support/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the fastcoalesce project, an independent reproduction of
+// "Fast Copy Coalescing and Live-Range Identification" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disjoint-set forest with union by size and path halving, the classic
+/// O(n alpha(n)) structure the paper relies on for grouping SSA names joined
+/// at phi-nodes (Section 3, Section 3.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_UNIONFIND_H
+#define FCC_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fcc {
+
+/// Disjoint-set forest over dense unsigned ids [0, size()).
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(unsigned NumElements) { grow(NumElements); }
+
+  /// Extends the universe to \p NumElements singleton sets. Existing sets are
+  /// preserved; shrinking is not supported.
+  void grow(unsigned NumElements);
+
+  /// Number of elements in the universe.
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Returns the canonical representative of \p X's set, compressing the
+  /// path by halving as it walks.
+  unsigned find(unsigned X);
+
+  /// Const lookup without path compression.
+  unsigned findConst(unsigned X) const;
+
+  /// Merges the sets of \p A and \p B; returns the surviving root. The
+  /// larger set's root wins so tree depth stays logarithmic before
+  /// compression.
+  unsigned unite(unsigned A, unsigned B);
+
+  /// True when \p A and \p B are currently in the same set.
+  bool connected(unsigned A, unsigned B) { return find(A) == find(B); }
+
+  /// Number of elements in \p X's set.
+  unsigned setSize(unsigned X) { return Size[find(X)]; }
+
+  /// Detaches \p X into a fresh singleton set. Only meaningful for elements
+  /// that are not the representative anchor of their set; the coalescer uses
+  /// this to "insert copies for" a member it evicts (Section 3.3). Children
+  /// previously compressed onto \p X keep pointing at \p X's old root because
+  /// eviction happens only after full compression of the set; call
+  /// compressAll() first when in doubt.
+  void evict(unsigned X);
+
+  /// Path-compresses every element so that all Parent entries point directly
+  /// at roots. Required before evict().
+  void compressAll();
+
+  /// Bytes of memory held by the structure (for the paper's memory tables).
+  size_t bytes() const {
+    return Parent.capacity() * sizeof(unsigned) +
+           Size.capacity() * sizeof(unsigned);
+  }
+
+private:
+  std::vector<unsigned> Parent;
+  std::vector<unsigned> Size;
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_UNIONFIND_H

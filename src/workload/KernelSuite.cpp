@@ -1,0 +1,890 @@
+//===- workload/KernelSuite.cpp -------------------------------------------===//
+
+#include "workload/KernelSuite.h"
+
+#include "ir/IRParser.h"
+#include "ir/Module.h"
+#include "workload/ProgramGenerator.h"
+
+using namespace fcc;
+
+namespace {
+
+/// saxpy: y[i] += a * x[i] over 8-element vectors (x at 0, y at 8), with the
+/// vectors initialized first.
+const char *SaxpySrc = R"(
+func @saxpy(%a, %n) {
+entry:
+  %i = const 0
+  br initloop
+initloop:
+  %ic = cmplt %i, 8
+  cbr %ic, initbody, sinit
+initbody:
+  %x = mul %i, 3
+  store %i, %x
+  %yaddr = add %i, 8
+  %y = sub %n, %i
+  store %yaddr, %y
+  %i = add %i, 1
+  br initloop
+sinit:
+  %j = const 0
+  br loop
+loop:
+  %jc = cmplt %j, 8
+  cbr %jc, body, exit
+body:
+  %xv = load %j
+  %ya = add %j, 8
+  %yv = load %ya
+  %ax = mul %a, %xv
+  %sum = add %ax, %yv
+  store %ya, %sum
+  %j = add %j, 1
+  br loop
+exit:
+  %last = const 15
+  %r = load %last
+  ret %r
+}
+)";
+
+/// initx: guarded initialization loops — mostly stores, a few copies.
+const char *InitxSrc = R"(
+func @initx(%n, %mode) {
+entry:
+  %fill = copy %n
+  %i = const 0
+  br loop
+loop:
+  %c = cmplt %i, 16
+  cbr %c, body, exit
+body:
+  %isneg = cmplt %mode, 0
+  cbr %isneg, neg, pos
+neg:
+  %val = neg %fill
+  br join
+pos:
+  %val = copy %fill
+  br join
+join:
+  store %i, %val
+  %fill = add %fill, 1
+  %i = add %i, 1
+  br loop
+exit:
+  %r = load 3
+  ret %r
+}
+)";
+
+/// tomcatv: 2D relaxation on a 6x6 interior of an 8x8 grid; old-value
+/// copies carry across the sweep like the mesh generator's workspace swap.
+const char *TomcatvSrc = R"(
+func @tomcatv(%n) {
+entry:
+  %k = const 0
+  br fill
+fill:
+  %kc = cmplt %k, 64
+  cbr %kc, fillbody, sweepinit
+fillbody:
+  %v = mod %k, 7
+  store %k, %v
+  %k = add %k, 1
+  br fill
+sweepinit:
+  %i = const 1
+  br rows
+rows:
+  %ic = cmplt %i, 7
+  cbr %ic, colsinit, exit
+colsinit:
+  %j = const 1
+  br cols
+cols:
+  %jc = cmplt %j, 7
+  cbr %jc, cell, rownext
+cell:
+  %base = mul %i, 8
+  %idx = add %base, %j
+  %left = sub %idx, 1
+  %right = add %idx, 1
+  %lv = load %left
+  %rv = load %right
+  %old = load %idx
+  %keep = copy %old
+  %s = add %lv, %rv
+  %avg = div %s, 2
+  %delta = sub %avg, %keep
+  %new = add %keep, %delta
+  store %idx, %new
+  %j = add %j, 1
+  br cols
+rownext:
+  %i = add %i, 1
+  br rows
+exit:
+  %r = load 27
+  ret %r
+}
+)";
+
+/// blts: forward (lower-triangular) solve, 6x6 matrix at 0, b at 36, x at 42.
+const char *BltsSrc = R"(
+func @blts(%seed) {
+entry:
+  %k = const 0
+  br fill
+fill:
+  %kc = cmplt %k, 48
+  cbr %kc, fillbody, solveinit
+fillbody:
+  %t = mod %k, 5
+  %v = add %t, 1
+  store %k, %v
+  %k = add %k, 1
+  br fill
+solveinit:
+  %i = const 0
+  br rows
+rows:
+  %ic = cmplt %i, 6
+  cbr %ic, rowstart, exit
+rowstart:
+  %baddr = add %i, 36
+  %s = load %baddr
+  %j = const 0
+  br inner
+inner:
+  %jc = cmplt %j, %i
+  cbr %jc, innerbody, rowend
+innerbody:
+  %rowbase = mul %i, 6
+  %laddr = add %rowbase, %j
+  %lv = load %laddr
+  %xaddr = add %j, 42
+  %xv = load %xaddr
+  %prod = mul %lv, %xv
+  %s = sub %s, %prod
+  %j = add %j, 1
+  br inner
+rowend:
+  %dbase = mul %i, 6
+  %daddr = add %dbase, %i
+  %diag = load %daddr
+  %xi = div %s, %diag
+  %xout = add %i, 42
+  store %xout, %xi
+  %i = add %i, 1
+  br rows
+exit:
+  %r = load 47
+  %r2 = add %r, %seed
+  ret %r2
+}
+)";
+
+/// buts: backward (upper-triangular) solve over the same layout.
+const char *ButsSrc = R"(
+func @buts(%seed) {
+entry:
+  %k = const 0
+  br fill
+fill:
+  %kc = cmplt %k, 48
+  cbr %kc, fillbody, solveinit
+fillbody:
+  %t = mod %k, 4
+  %v = add %t, 1
+  store %k, %v
+  %k = add %k, 1
+  br fill
+solveinit:
+  %step = const 0
+  br rows
+rows:
+  %sc = cmplt %step, 6
+  cbr %sc, rowstart, exit
+rowstart:
+  %i = sub 5, %step
+  %baddr = add %i, 36
+  %s = load %baddr
+  %j = add %i, 1
+  br inner
+inner:
+  %jc = cmplt %j, 6
+  cbr %jc, innerbody, rowend
+innerbody:
+  %rowbase = mul %i, 6
+  %uaddr = add %rowbase, %j
+  %uv = load %uaddr
+  %xaddr = add %j, 42
+  %xv = load %xaddr
+  %prod = mul %uv, %xv
+  %s = sub %s, %prod
+  %j = add %j, 1
+  br inner
+rowend:
+  %dbase = mul %i, 6
+  %daddr = add %dbase, %i
+  %diag = load %daddr
+  %xi = div %s, %diag
+  %xout = add %i, 42
+  store %xout, %xi
+  %step = add %step, 1
+  br rows
+exit:
+  %r = load 42
+  %r2 = mul %r, %seed
+  ret %r2
+}
+)";
+
+/// rhs: one-dimensional second-difference stencil with shifted copies.
+const char *RhsSrc = R"(
+func @rhs(%n) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %ic = cmplt %i, 20
+  cbr %ic, fillbody, stencilinit
+fillbody:
+  %sq = mul %i, %i
+  store %i, %sq
+  %i = add %i, 1
+  br fill
+stencilinit:
+  %j = const 1
+  %prev = load 0
+  br loop
+loop:
+  %jc = cmplt %j, 19
+  cbr %jc, body, exit
+body:
+  %mid = load %j
+  %ra = add %j, 1
+  %next = load %ra
+  %keep = copy %mid
+  %two = mul %keep, 2
+  %sumlr = add %prev, %next
+  %lap = sub %sumlr, %two
+  %out = add %j, 20
+  store %out, %lap
+  %prev = copy %mid
+  %j = add %j, 1
+  br loop
+exit:
+  %r = load 30
+  %r2 = add %r, %n
+  ret %r2
+}
+)";
+
+/// twldrv: loop nest with a conditional swap in the core — the shape that
+/// produces the paper's swap problems.
+const char *TwldrvSrc = R"(
+func @twldrv(%n, %m) {
+entry:
+  %x = const 3
+  %y = const 11
+  %acc = const 0
+  %i = const 0
+  br outer
+outer:
+  %oc = cmplt %i, 5
+  cbr %oc, oinit, exit
+oinit:
+  %j = const 0
+  br inner
+inner:
+  %jc = cmplt %j, 4
+  cbr %jc, core, onext
+core:
+  %p = mul %x, %y
+  %q = add %p, %acc
+  %odd = mod %q, 2
+  cbr %odd, doswap, noswap
+doswap:
+  %t = copy %x
+  %x = copy %y
+  %y = copy %t
+  br coredone
+noswap:
+  %x = add %x, 1
+  br coredone
+coredone:
+  %acc = add %acc, %q
+  %j = add %j, 1
+  br inner
+onext:
+  %i = add %i, 1
+  br outer
+exit:
+  %lo = mod %acc, 1000
+  %r = add %lo, %n
+  %r2 = add %r, %m
+  ret %r2
+}
+)";
+
+/// fieldx: field update with boundary conditionals and carried copies.
+const char *FieldxSrc = R"(
+func @fieldx(%n) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %ic = cmplt %i, 24
+  cbr %ic, fillbody, updinit
+fillbody:
+  %v = mod %i, 9
+  store %i, %v
+  %i = add %i, 1
+  br fill
+updinit:
+  %j = const 0
+  %carry = const 0
+  br loop
+loop:
+  %jc = cmplt %j, 24
+  cbr %jc, body, exit
+body:
+  %v = load %j
+  %isbig = cmpgt %v, 4
+  cbr %isbig, clampit, keepit
+clampit:
+  %new = const 4
+  br store_it
+keepit:
+  %new = copy %v
+  br store_it
+store_it:
+  %old = copy %carry
+  %carry = add %old, %new
+  store %j, %new
+  %j = add %j, 1
+  br loop
+exit:
+  %r = mod %carry, 997
+  %r2 = add %r, %n
+  ret %r2
+}
+)";
+
+/// parmvrx: parameter-move-heavy kernel — long copy chains in a loop, the
+/// copy-coalescing stress case the paper's tables feature prominently.
+const char *ParmvrxSrc = R"(
+func @parmvrx(%a, %b) {
+entry:
+  %r0 = copy %a
+  %r1 = copy %b
+  %r2 = add %r0, %r1
+  %i = const 0
+  br loop
+loop:
+  %c = cmplt %i, 10
+  cbr %c, body, exit
+body:
+  %s0 = copy %r2
+  %s1 = copy %s0
+  %s2 = copy %s1
+  %sum = add %s2, %i
+  %r2 = copy %sum
+  %i = add %i, 1
+  br loop
+exit:
+  %out = copy %r2
+  ret %out
+}
+)";
+
+/// parmovx: conditional parameter shuffles — copies that cannot all fold.
+const char *ParmovxSrc = R"(
+func @parmovx(%a, %b, %c) {
+entry:
+  %x = copy %a
+  %y = copy %b
+  %z = copy %c
+  %i = const 0
+  br loop
+loop:
+  %lc = cmplt %i, 6
+  cbr %lc, body, exit
+body:
+  %sel = mod %i, 3
+  %is0 = cmpeq %sel, 0
+  cbr %is0, rot, maybe
+rot:
+  %t = copy %x
+  %x = copy %y
+  %y = copy %z
+  %z = copy %t
+  br next
+maybe:
+  %is1 = cmpeq %sel, 1
+  cbr %is1, bump, next
+bump:
+  %x = add %x, %z
+  br next
+next:
+  %i = add %i, 1
+  br loop
+exit:
+  %xy = mul %x, %y
+  %r = add %xy, %z
+  ret %r
+}
+)";
+
+/// parmvex: straight-line copy ladders between expression uses.
+const char *ParmvexSrc = R"(
+func @parmvex(%a, %b) {
+entry:
+  %t0 = add %a, %b
+  %u0 = copy %t0
+  %t1 = mul %u0, %a
+  %u1 = copy %t1
+  %t2 = sub %u1, %b
+  %u2 = copy %t2
+  %c = cmpgt %u2, 10
+  cbr %c, big, small
+big:
+  %w = div %u2, 2
+  br join
+small:
+  %w = copy %u2
+  br join
+join:
+  %t3 = add %w, %u0
+  %u3 = copy %t3
+  %t4 = add %u3, %u1
+  ret %t4
+}
+)";
+
+/// radfgx: forward radix-style butterflies over a 16-word workspace.
+const char *RadfgxSrc = R"(
+func @radfgx(%n) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %ic = cmplt %i, 32
+  cbr %ic, fillbody, stageinit
+fillbody:
+  %v = mod %i, 11
+  store %i, %v
+  %i = add %i, 1
+  br fill
+stageinit:
+  %stride = const 1
+  br stages
+stages:
+  %sc = cmplt %stride, 16
+  cbr %sc, pairsinit, exit
+pairsinit:
+  %p = const 0
+  br pairs
+pairs:
+  %pc = cmplt %p, 16
+  cbr %pc, bfly, stagenext
+bfly:
+  %hi = add %p, %stride
+  %av = load %p
+  %bv = load %hi
+  %asave = copy %av
+  %sum = add %asave, %bv
+  %diff = sub %asave, %bv
+  store %p, %sum
+  store %hi, %diff
+  %twice = mul %stride, 2
+  %p = add %p, %twice
+  br pairs
+stagenext:
+  %stride = mul %stride, 2
+  br stages
+exit:
+  %r = load 0
+  %r2 = add %r, %n
+  ret %r2
+}
+)";
+
+/// radbgx: the inverse sweep, strides shrinking, with a scale fixup.
+const char *RadbgxSrc = R"(
+func @radbgx(%n) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %ic = cmplt %i, 32
+  cbr %ic, fillbody, stageinit
+fillbody:
+  %v = mod %i, 13
+  store %i, %v
+  %i = add %i, 1
+  br fill
+stageinit:
+  %stride = const 8
+  br stages
+stages:
+  %sc = cmpgt %stride, 0
+  cbr %sc, pairsinit, scaleinit
+pairsinit:
+  %p = const 0
+  br pairs
+pairs:
+  %pc = cmplt %p, 16
+  cbr %pc, bfly, stagenext
+bfly:
+  %hi = add %p, %stride
+  %av = load %p
+  %bv = load %hi
+  %sum = add %av, %bv
+  %diff = sub %av, %bv
+  store %p, %sum
+  store %hi, %diff
+  %twice = mul %stride, 2
+  %p = add %p, %twice
+  br pairs
+stagenext:
+  %stride = div %stride, 2
+  br stages
+scaleinit:
+  %q = const 0
+  br scale
+scale:
+  %qc = cmplt %q, 16
+  cbr %qc, scalebody, exit
+scalebody:
+  %v = load %q
+  %h = div %v, 2
+  store %q, %h
+  %q = add %q, 1
+  br scale
+exit:
+  %r = load 5
+  %r2 = add %r, %n
+  ret %r2
+}
+)";
+
+/// smoothx: three-point smoothing with a rotating window of copies.
+const char *SmoothxSrc = R"(
+func @smoothx(%n) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %ic = cmplt %i, 24
+  cbr %ic, fillbody, smoothinit
+fillbody:
+  %v = mul %i, %i
+  %w = mod %v, 17
+  store %i, %w
+  %i = add %i, 1
+  br fill
+smoothinit:
+  %j = const 1
+  %wl = load 0
+  %wm = load 1
+  br loop
+loop:
+  %jc = cmplt %j, 23
+  cbr %jc, body, exit
+body:
+  %ra = add %j, 1
+  %wr = load %ra
+  %s1 = add %wl, %wm
+  %s2 = add %s1, %wr
+  %avg = div %s2, 3
+  store %j, %avg
+  %wl = copy %wm
+  %wm = copy %wr
+  %j = add %j, 1
+  br loop
+exit:
+  %r = load 11
+  %r2 = add %r, %n
+  ret %r2
+}
+)";
+
+/// fpppp: one huge straight-line block of temporaries, as in the SPEC
+/// routine famous for its basic-block size; a second block keeps liveness
+/// honest across a branch.
+const char *FppppSrc = R"(
+func @fpppp(%a, %b, %c) {
+entry:
+  %t1 = mul %a, %b
+  %t2 = add %t1, %c
+  %t3 = mul %t2, %a
+  %t4 = sub %t3, %b
+  %t5 = mul %t4, %t1
+  %t6 = add %t5, %t2
+  %t7 = div %t6, 3
+  %t8 = mul %t7, %t3
+  %t9 = sub %t8, %t4
+  %t10 = add %t9, %t5
+  %u1 = copy %t10
+  %t11 = mul %u1, %t6
+  %t12 = add %t11, %t7
+  %t13 = sub %t12, %t8
+  %t14 = mul %t13, 5
+  %t15 = add %t14, %t9
+  %t16 = div %t15, 7
+  %t17 = mul %t16, %t10
+  %t18 = add %t17, %t11
+  %u2 = copy %t18
+  %t19 = sub %u2, %t12
+  %t20 = add %t19, %t13
+  %big = cmpgt %t20, 100
+  cbr %big, scaledown, keep
+scaledown:
+  %res = div %t20, 100
+  br final
+keep:
+  %res = copy %t20
+  br final
+final:
+  %w1 = add %res, %t16
+  %w2 = mul %w1, %t17
+  %w3 = add %w2, %u1
+  %w4 = mod %w3, 10007
+  ret %w4
+}
+)";
+
+/// jacld: per-cell Jacobian-style scalar brews stored to block rows.
+const char *JacldSrc = R"(
+func @jacld(%n) {
+entry:
+  %i = const 0
+  br cells
+cells:
+  %ic = cmplt %i, 8
+  cbr %ic, cell, exit
+cell:
+  %u = add %i, %n
+  %r1 = mul %u, 2
+  %r2 = add %r1, %i
+  %r3 = mul %r2, %u
+  %r4 = sub %r3, %r1
+  %d1 = copy %r2
+  %d2 = copy %r4
+  %base = mul %i, 4
+  store %base, %r1
+  %a1 = add %base, 1
+  store %a1, %d1
+  %a2 = add %base, 2
+  store %a2, %r3
+  %a3 = add %base, 3
+  store %a3, %d2
+  %i = add %i, 1
+  br cells
+exit:
+  %r = load 13
+  ret %r
+}
+)";
+
+/// getbx: gather with a guard — loads through computed indices.
+const char *GetbxSrc = R"(
+func @getbx(%n, %k) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %ic = cmplt %i, 16
+  cbr %ic, fillbody, gatherinit
+fillbody:
+  %v = mul %i, 5
+  %w = mod %v, 16
+  store %i, %w
+  %i = add %i, 1
+  br fill
+gatherinit:
+  %j = const 0
+  %acc = const 0
+  br loop
+loop:
+  %jc = cmplt %j, 16
+  cbr %jc, body, exit
+body:
+  %idx = load %j
+  %ok = cmplt %idx, %k
+  cbr %ok, use, skip
+use:
+  %v = load %idx
+  %acc = add %acc, %v
+  br next
+skip:
+  %acc = sub %acc, 1
+  br next
+next:
+  %j = add %j, 1
+  br loop
+exit:
+  %r = add %acc, %n
+  ret %r
+}
+)";
+
+/// advbndx: advance boundary cells, then the interior, with carried copies.
+const char *AdvbndxSrc = R"(
+func @advbndx(%n) {
+entry:
+  %first = copy %n
+  store 0, %first
+  %lastv = add %n, 7
+  store 15, %lastv
+  %i = const 1
+  %carry = copy %first
+  br interior
+interior:
+  %ic = cmplt %i, 15
+  cbr %ic, body, exit
+body:
+  %v = load %i
+  %old = copy %v
+  %mix = add %old, %carry
+  %new = div %mix, 2
+  store %i, %new
+  %carry = copy %old
+  %i = add %i, 1
+  br interior
+exit:
+  %a = load 0
+  %b = load 15
+  %r = add %a, %b
+  ret %r
+}
+)";
+
+/// deseco: branchy scalar decision code with copies on every path, after
+/// the SPEC doduc routine of the same flavor.
+const char *DesecoSrc = R"(
+func @deseco(%a, %b, %c) {
+entry:
+  %s = add %a, %b
+  %t = copy %s
+  %big = cmpgt %t, %c
+  cbr %big, over, under
+over:
+  %d1 = sub %t, %c
+  %sel = mod %d1, 2
+  cbr %sel, o1, o2
+o1:
+  %w = mul %d1, 3
+  br merge1
+o2:
+  %w = copy %d1
+  br merge1
+merge1:
+  %x = add %w, %a
+  br join
+under:
+  %d2 = sub %c, %t
+  %neg = cmplt %d2, 4
+  cbr %neg, u1, u2
+u1:
+  %x = copy %d2
+  br join
+u2:
+  %half = div %d2, 2
+  %x = add %half, %b
+  br join
+join:
+  %y = copy %x
+  %z = mul %y, %t
+  %r = mod %z, 9973
+  ret %r
+}
+)";
+
+RoutineSpec kernel(const char *Name, const char *Source,
+                   std::vector<int64_t> Args) {
+  RoutineSpec Spec;
+  Spec.Name = Name;
+  Spec.Source = Source;
+  Spec.Args = std::move(Args);
+  return Spec;
+}
+
+} // namespace
+
+std::unique_ptr<Module> RoutineSpec::materialize() const {
+  if (!Source.empty())
+    return parseSingleFunctionOrDie(Source);
+  auto M = std::make_unique<Module>();
+  generateProgram(*M, Name, GenOpts);
+  return M;
+}
+
+const std::vector<RoutineSpec> &fcc::kernelSuite() {
+  static const std::vector<RoutineSpec> Suite = [] {
+    std::vector<RoutineSpec> S;
+    S.push_back(kernel("tomcatv", TomcatvSrc, {3}));
+    S.push_back(kernel("blts", BltsSrc, {2}));
+    S.push_back(kernel("buts", ButsSrc, {3}));
+    S.push_back(kernel("getbx", GetbxSrc, {5, 9}));
+    S.push_back(kernel("twldrv", TwldrvSrc, {4, 2}));
+    S.push_back(kernel("smoothx", SmoothxSrc, {6}));
+    S.push_back(kernel("rhs", RhsSrc, {7}));
+    S.push_back(kernel("parmvrx", ParmvrxSrc, {3, 4}));
+    S.push_back(kernel("saxpy", SaxpySrc, {2, 9}));
+    S.push_back(kernel("initx", InitxSrc, {5, -1}));
+    S.push_back(kernel("fieldx", FieldxSrc, {4}));
+    S.push_back(kernel("parmovx", ParmovxSrc, {1, 2, 3}));
+    S.push_back(kernel("parmvex", ParmvexSrc, {6, 2}));
+    S.push_back(kernel("radfgx", RadfgxSrc, {8}));
+    S.push_back(kernel("radbgx", RadbgxSrc, {9}));
+    S.push_back(kernel("fpppp", FppppSrc, {2, 3, 4}));
+    S.push_back(kernel("jacld", JacldSrc, {5}));
+    S.push_back(kernel("advbndx", AdvbndxSrc, {6}));
+    S.push_back(kernel("deseco", DesecoSrc, {9, 4, 7}));
+    return S;
+  }();
+  return Suite;
+}
+
+std::vector<RoutineSpec> fcc::paperSuite(unsigned TotalRoutines) {
+  std::vector<RoutineSpec> Suite = kernelSuite();
+  unsigned Index = 0;
+  while (Suite.size() < TotalRoutines) {
+    RoutineSpec Spec;
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "gen%03u", Index);
+    Spec.Name = Buf;
+    GeneratorOptions &G = Spec.GenOpts;
+    G.Seed = 0x9E3779B9u + Index * 1013904223ull;
+    // Sweep the knobs so routine sizes span the suite's range; every tenth
+    // routine is large, the way twldrv and fpppp dwarf the rest of the
+    // paper's suite.
+    G.SizeBudget = 4 + (Index * 7) % 36;
+    if (Index % 10 == 9)
+      G.SizeBudget = 80 + (Index * 13) % 80;
+    G.NumVars = 4 + (Index * 3) % 12;
+    G.NumParams = 1 + Index % 3;
+    G.MaxLoopDepth = 1 + Index % 3;
+    // Copy density of real code: a handful of percent of statements, not
+    // the synthetic worst case (which the ablation bench can still explore
+    // through GeneratorOptions directly).
+    G.CopyPercent = 4 + (Index * 7) % 14;
+    G.MemPercent = 5 + (Index * 5) % 20;
+    G.RunLength = 3 + Index % 4;
+    Spec.Args = {static_cast<int64_t>(Index % 7),
+                 static_cast<int64_t>(3 + Index % 5),
+                 static_cast<int64_t>(1 + Index % 4)};
+    Spec.Args.resize(G.NumParams);
+    Suite.push_back(std::move(Spec));
+    ++Index;
+  }
+  if (Suite.size() > TotalRoutines)
+    Suite.resize(TotalRoutines);
+  return Suite;
+}

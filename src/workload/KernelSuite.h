@@ -1,0 +1,54 @@
+//===- workload/KernelSuite.h - Named benchmark kernels ---------*- C++ -*-===//
+///
+/// \file
+/// Hand-written numerical kernels in the textual IR, named after the hot
+/// routines the paper reports on (saxpy, tomcatv, blts, buts, rhs, initx,
+/// twldrv, fpppp, the parmv* family, ...). They are synthetic stand-ins —
+/// see DESIGN.md — built to exercise the same structural properties the
+/// algorithms care about: loop nests, copy chains, conditional swaps, big
+/// straight-line blocks and array traffic.
+///
+/// Together with seeded generator routines they form the "paper suite" of
+/// 169 routines the benchmark harness runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_WORKLOAD_KERNELSUITE_H
+#define FCC_WORKLOAD_KERNELSUITE_H
+
+#include "workload/ProgramGenerator.h"
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+class Module;
+
+/// One routine of the benchmark suite. materialize() builds a fresh Module
+/// so each pipeline can mutate its own copy.
+struct RoutineSpec {
+  std::string Name;
+  /// Textual IR for hand-written kernels; empty for generated routines.
+  std::string Source;
+  /// Generator options for synthetic routines (used when Source is empty).
+  GeneratorOptions GenOpts;
+  /// Arguments used when executing the routine (Table 4).
+  std::vector<int64_t> Args;
+
+  /// Parses or generates a fresh copy of the routine (aborts on malformed
+  /// embedded sources — a programming error).
+  std::unique_ptr<Module> materialize() const;
+};
+
+/// The hand-written kernels, in a fixed order.
+const std::vector<RoutineSpec> &kernelSuite();
+
+/// The full suite: every kernel plus deterministic generated routines up to
+/// \p TotalRoutines (default matches the paper's 169).
+std::vector<RoutineSpec> paperSuite(unsigned TotalRoutines = 169);
+
+} // namespace fcc
+
+#endif // FCC_WORKLOAD_KERNELSUITE_H

@@ -1,0 +1,77 @@
+//===- tests/analysis/CFGUtilsTest.cpp ------------------------------------===//
+
+#include "analysis/CFGUtils.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+TEST(CFGUtilsTest, DiamondHasNoCriticalEdges) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  EXPECT_FALSE(hasCriticalEdges(F));
+  EXPECT_EQ(splitCriticalEdges(F), 0u);
+}
+
+TEST(CFGUtilsTest, LoopExitEdgeIsCritical) {
+  // header -> exit: header has two successors; does exit have two preds? No.
+  // header -> body is not critical either. But LostCopy's header -> header
+  // back edge is critical (header: 2 succs, 2 preds).
+  auto M = parseSingleFunctionOrDie(testprogs::LostCopy);
+  Function &F = *M->functions()[0];
+  BasicBlock *Header = F.findBlock("header");
+  EXPECT_TRUE(isCriticalEdge(Header, Header));
+  EXPECT_TRUE(hasCriticalEdges(F));
+}
+
+TEST(CFGUtilsTest, SplittingInsertsForwardingBlocks) {
+  auto M = parseSingleFunctionOrDie(testprogs::LostCopy);
+  Function &F = *M->functions()[0];
+  unsigned Before = F.numBlocks();
+  unsigned Split = splitCriticalEdges(F);
+  EXPECT_GE(Split, 1u);
+  EXPECT_EQ(F.numBlocks(), Before + Split);
+  EXPECT_FALSE(hasCriticalEdges(F));
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, Error)) << Error;
+}
+
+TEST(CFGUtilsTest, SplitKeepsStrictness) {
+  auto M = parseSingleFunctionOrDie(testprogs::SwapLoop);
+  Function &F = *M->functions()[0];
+  splitCriticalEdges(F);
+  EXPECT_TRUE(isStrict(F));
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, Error)) << Error;
+}
+
+TEST(CFGUtilsTest, SplitIsIdempotent) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  splitCriticalEdges(F);
+  EXPECT_EQ(splitCriticalEdges(F), 0u);
+}
+
+TEST(CFGUtilsTest, ForwardingBlockBranchesToOldTarget) {
+  auto M = parseSingleFunctionOrDie(testprogs::LostCopy);
+  Function &F = *M->functions()[0];
+  BasicBlock *Header = F.findBlock("header");
+  unsigned Before = F.numBlocks();
+  splitCriticalEdges(F);
+  ASSERT_GT(F.numBlocks(), Before);
+  // The new block sits between header and header (the back edge).
+  BasicBlock *Mid = F.block(Before);
+  ASSERT_EQ(Mid->succs().size(), 1u);
+  EXPECT_EQ(Mid->succs()[0], Header);
+  EXPECT_EQ(Mid->getNumPreds(), 1u);
+  EXPECT_EQ(Mid->preds()[0], Header);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/analysis/DominanceFrontierTest.cpp ---------------------------===//
+
+#include "analysis/DominanceFrontier.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+bool contains(const std::vector<BasicBlock *> &DF, const BasicBlock *B) {
+  return std::find(DF.begin(), DF.end(), B) != DF.end();
+}
+
+TEST(DominanceFrontierTest, StraightLineHasEmptyFrontiers) {
+  auto M = parseSingleFunctionOrDie(testprogs::StraightLine);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  DominanceFrontier DF(DT);
+  EXPECT_TRUE(DF.frontier(F.entry()).empty());
+}
+
+TEST(DominanceFrontierTest, DiamondArmsMeetAtJoin) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  DominanceFrontier DF(DT);
+  BasicBlock *Left = F.findBlock("left");
+  BasicBlock *Right = F.findBlock("right");
+  BasicBlock *Join = F.findBlock("join");
+  EXPECT_TRUE(contains(DF.frontier(Left), Join));
+  EXPECT_TRUE(contains(DF.frontier(Right), Join));
+  EXPECT_TRUE(DF.frontier(F.entry()).empty())
+      << "entry dominates the join, so join is not in its frontier";
+  EXPECT_TRUE(DF.frontier(Join).empty());
+}
+
+TEST(DominanceFrontierTest, LoopHeaderIsInItsOwnFrontier) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  DominanceFrontier DF(DT);
+  BasicBlock *Header = F.findBlock("header");
+  BasicBlock *Body = F.findBlock("body");
+  EXPECT_TRUE(contains(DF.frontier(Body), Header));
+  EXPECT_TRUE(contains(DF.frontier(Header), Header))
+      << "the header's frontier contains itself via the back edge";
+}
+
+TEST(DominanceFrontierTest, FrontiersAreSortedAndUnique) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  DominanceFrontier DF(DT);
+  for (const auto &B : F.blocks()) {
+    const auto &Frontier = DF.frontier(B.get());
+    for (size_t I = 1; I < Frontier.size(); ++I)
+      EXPECT_LT(Frontier[I - 1]->id(), Frontier[I]->id());
+  }
+}
+
+TEST(DominanceFrontierTest, MatchesDefinitionOnAllPairs) {
+  // DF(X) = { Y : X dominates a pred of Y, X does not strictly dominate Y }.
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  DominanceFrontier DF(DT);
+  for (const auto &X : F.blocks()) {
+    for (const auto &Y : F.blocks()) {
+      bool DominatesAPred = false;
+      for (BasicBlock *P : Y->preds())
+        DominatesAPred |= DT.dominates(X.get(), P);
+      bool Expected = DominatesAPred && !DT.strictlyDominates(X.get(), Y.get());
+      EXPECT_EQ(contains(DF.frontier(X.get()), Y.get()), Expected)
+          << "DF(" << X->name() << ") vs " << Y->name();
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/analysis/DominatorTreeTest.cpp -------------------------------===//
+
+#include "analysis/DominatorTree.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+TEST(DominatorTreeTest, SingleBlock) {
+  auto M = parseSingleFunctionOrDie(testprogs::StraightLine);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  EXPECT_EQ(DT.idom(F.entry()), nullptr);
+  EXPECT_TRUE(DT.dominates(F.entry(), F.entry()));
+  EXPECT_FALSE(DT.strictlyDominates(F.entry(), F.entry()));
+  EXPECT_EQ(DT.preorder(F.entry()), 0u);
+  EXPECT_EQ(DT.maxPreorder(F.entry()), 0u);
+}
+
+TEST(DominatorTreeTest, DiamondIdoms) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  BasicBlock *Entry = F.findBlock("entry");
+  BasicBlock *Left = F.findBlock("left");
+  BasicBlock *Right = F.findBlock("right");
+  BasicBlock *Join = F.findBlock("join");
+  EXPECT_EQ(DT.idom(Left), Entry);
+  EXPECT_EQ(DT.idom(Right), Entry);
+  EXPECT_EQ(DT.idom(Join), Entry) << "join is not dominated by either arm";
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  EXPECT_FALSE(DT.dominates(Left, Right));
+}
+
+TEST(DominatorTreeTest, LoopIdoms) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  BasicBlock *Entry = F.findBlock("entry");
+  BasicBlock *Header = F.findBlock("header");
+  BasicBlock *Body = F.findBlock("body");
+  BasicBlock *Exit = F.findBlock("exit");
+  EXPECT_EQ(DT.idom(Header), Entry);
+  EXPECT_EQ(DT.idom(Body), Header);
+  EXPECT_EQ(DT.idom(Exit), Header);
+  EXPECT_TRUE(DT.dominates(Header, Body));
+  EXPECT_TRUE(DT.dominates(Header, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+}
+
+TEST(DominatorTreeTest, PreorderNumbersNestWithinParents) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  for (const auto &B : F.blocks()) {
+    unsigned Pre = DT.preorder(B.get());
+    unsigned Max = DT.maxPreorder(B.get());
+    EXPECT_LE(Pre, Max);
+    for (BasicBlock *C : DT.children(B.get())) {
+      EXPECT_GT(DT.preorder(C), Pre);
+      EXPECT_LE(DT.maxPreorder(C), Max);
+    }
+  }
+}
+
+TEST(DominatorTreeTest, PreorderBlocksIsAPermutation) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  std::vector<bool> Seen(F.numBlocks(), false);
+  for (BasicBlock *B : DT.preorderBlocks()) {
+    ASSERT_NE(B, nullptr);
+    EXPECT_FALSE(Seen[B->id()]);
+    Seen[B->id()] = true;
+  }
+}
+
+TEST(DominatorTreeTest, DominatesMatchesNumberingOnAllPairs) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  // Reference: A dominates B iff walking idoms from B reaches A.
+  auto RefDominates = [&](const BasicBlock *A, const BasicBlock *B) {
+    for (const BasicBlock *W = B; W; W = DT.idom(W))
+      if (W == A)
+        return true;
+    return false;
+  };
+  for (const auto &A : F.blocks())
+    for (const auto &B : F.blocks())
+      EXPECT_EQ(DT.dominates(A.get(), B.get()), RefDominates(A.get(), B.get()))
+          << A->name() << " vs " << B->name();
+}
+
+TEST(DominatorTreeTest, ReversePostorderStartsAtEntry) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  ASSERT_EQ(DT.reversePostorder().size(), F.numBlocks());
+  EXPECT_EQ(DT.reversePostorder().front(), F.entry());
+}
+
+TEST(DominatorTreeTest, BytesIsNonZero) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  DominatorTree DT(*M->functions()[0]);
+  EXPECT_GT(DT.bytes(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tests/analysis/LivenessTest.cpp ------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Variable.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+TEST(LivenessTest, StraightLineParamsLiveInOnly) {
+  auto M = parseSingleFunctionOrDie(testprogs::StraightLine);
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  // Straight-line code: nothing is live out of the only block, and the only
+  // upward-exposed names at entry are the parameters (defined by the caller).
+  EXPECT_TRUE(L.liveOut(F.entry()).empty());
+  EXPECT_EQ(L.liveIn(F.entry()).count(), F.params().size());
+  for (const Variable *P : F.params())
+    EXPECT_TRUE(L.isLiveIn(F.entry(), P));
+}
+
+TEST(LivenessTest, LoopCarriedVariablesAreLiveAroundTheLoop) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  BasicBlock *Header = F.findBlock("header");
+  BasicBlock *Body = F.findBlock("body");
+  Variable *I = F.findVariable("i");
+  Variable *Sum = F.findVariable("sum");
+  Variable *N = F.findVariable("n");
+  EXPECT_TRUE(L.isLiveIn(Header, I));
+  EXPECT_TRUE(L.isLiveIn(Header, Sum));
+  EXPECT_TRUE(L.isLiveIn(Header, N)) << "n is used by the header's compare";
+  EXPECT_TRUE(L.isLiveOut(Body, I));
+  EXPECT_TRUE(L.isLiveOut(Body, Sum));
+  EXPECT_TRUE(L.isLiveOut(F.entry(), I));
+}
+
+TEST(LivenessTest, ValueDeadAfterLastUse) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  BasicBlock *Exit = F.findBlock("exit");
+  Variable *I = F.findVariable("i");
+  Variable *Sum = F.findVariable("sum");
+  EXPECT_FALSE(L.isLiveIn(Exit, I)) << "i is not used after the loop";
+  EXPECT_TRUE(L.isLiveIn(Exit, Sum));
+  EXPECT_TRUE(L.liveOut(Exit).empty());
+}
+
+TEST(LivenessTest, ConditionVariableDiesAtBranch) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  Variable *C = F.findVariable("c");
+  BasicBlock *Left = F.findBlock("left");
+  EXPECT_FALSE(L.isLiveIn(Left, C));
+  EXPECT_FALSE(L.isLiveOut(F.entry(), C));
+}
+
+TEST(LivenessTest, PhiOperandIsLiveOutOfPredNotLiveInOfPhiBlock) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%c) {
+entry:
+  %a = const 1
+  %b = const 2
+  cbr %c, l, r
+l:
+  br j
+r:
+  br j
+j:
+  %x = phi [%a, l], [%b, r]
+  ret %x
+}
+)");
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  BasicBlock *LB = F.findBlock("l");
+  BasicBlock *RB = F.findBlock("r");
+  BasicBlock *J = F.findBlock("j");
+  Variable *A = F.findVariable("a");
+  Variable *B = F.findVariable("b");
+  Variable *X = F.findVariable("x");
+
+  // The paper's convention (Section 3.1): a flows into j's phi, so it is
+  // live out of l but NOT live into j.
+  EXPECT_TRUE(L.isLiveOut(LB, A));
+  EXPECT_FALSE(L.isLiveIn(J, A));
+  EXPECT_TRUE(L.isLiveOut(RB, B));
+  EXPECT_FALSE(L.isLiveIn(J, B));
+  // a does not flow through r, and vice versa.
+  EXPECT_FALSE(L.isLiveOut(RB, A));
+  EXPECT_FALSE(L.isLiveOut(LB, B));
+  // The phi result is defined at the top of j.
+  EXPECT_FALSE(L.isLiveIn(J, X));
+}
+
+TEST(LivenessTest, DirectUseInPhiBlockKeepsValueLiveIn) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%c) {
+entry:
+  %a = const 1
+  %b = const 2
+  cbr %c, l, r
+l:
+  br j
+r:
+  br j
+j:
+  %x = phi [%a, l], [%b, r]
+  %y = add %x, %a   ; direct (non-phi) use of a in j
+  ret %y
+}
+)");
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  BasicBlock *J = F.findBlock("j");
+  BasicBlock *RB = F.findBlock("r");
+  Variable *A = F.findVariable("a");
+  EXPECT_TRUE(L.isLiveIn(J, A)) << "a has a direct use below the phis";
+  EXPECT_TRUE(L.isLiveOut(RB, A)) << "a reaches the direct use through r too";
+}
+
+TEST(LivenessTest, StoreOperandsAreUses) {
+  auto M = parseSingleFunctionOrDie(testprogs::ArraySum);
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  BasicBlock *FillBody = F.findBlock("fillbody");
+  Variable *N = F.findVariable("n");
+  EXPECT_TRUE(L.isLiveIn(FillBody, N));
+}
+
+TEST(LivenessTest, SelfRedefinitionIsUpwardExposed) {
+  // In `%i = add %i, 1` the use of %i happens before the def.
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  Liveness L(F);
+  BasicBlock *Body = F.findBlock("body");
+  Variable *I = F.findVariable("i");
+  EXPECT_TRUE(L.isLiveIn(Body, I));
+}
+
+TEST(LivenessTest, BytesIsNonZero) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Liveness L(*M->functions()[0]);
+  EXPECT_GT(L.bytes(), 0u);
+}
+
+} // namespace

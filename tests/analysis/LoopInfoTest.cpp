@@ -1,0 +1,75 @@
+//===- tests/analysis/LoopInfoTest.cpp ------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "../common/TestPrograms.h"
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+TEST(LoopInfoTest, StraightLineHasNoLoops) {
+  auto M = parseSingleFunctionOrDie(testprogs::StraightLine);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  EXPECT_TRUE(LI.loops().empty());
+  EXPECT_EQ(LI.loopDepth(F.entry()), 0u);
+}
+
+TEST(LoopInfoTest, SimpleLoopMembership) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, F.findBlock("header"));
+  EXPECT_EQ(L.Blocks.size(), 2u) << "header and body";
+  EXPECT_EQ(LI.loopDepth(F.findBlock("header")), 1u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("body")), 1u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("entry")), 0u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("exit")), 0u);
+}
+
+TEST(LoopInfoTest, NestedLoopDepths) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("outer")), 1u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("inner")), 2u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("ibody")), 2u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("addit")), 2u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("onext")), 1u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("exit")), 0u);
+}
+
+TEST(LoopInfoTest, SelfLoopOnHeader) {
+  auto M = parseSingleFunctionOrDie(testprogs::LostCopy);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_EQ(LI.loops()[0].Header, F.findBlock("header"));
+  EXPECT_EQ(LI.loopDepth(F.findBlock("header")), 1u);
+}
+
+TEST(LoopInfoTest, TwoSequentialLoops) {
+  auto M = parseSingleFunctionOrDie(testprogs::ArraySum);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("fill")), 1u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("sum")), 1u);
+  EXPECT_EQ(LI.loopDepth(F.findBlock("sumhead")), 0u);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- tests/baseline/InterferenceGraphTest.cpp ---------------------------===//
+
+#include "baseline/InterferenceGraph.h"
+
+#include "../common/TestPrograms.h"
+#include "analysis/Liveness.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Variable.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Module> M;
+  Function *F;
+  std::unique_ptr<Liveness> LV;
+  std::unique_ptr<InterferenceGraph> G;
+
+  Built(const char *Text, InterferenceGraph::BuildOptions Opts = {}) {
+    M = parseSingleFunctionOrDie(Text);
+    F = M->functions()[0].get();
+    LV = std::make_unique<Liveness>(*F);
+    G = std::make_unique<InterferenceGraph>(*F, *LV, Opts);
+  }
+
+  Variable *var(const char *Name) {
+    Variable *V = F->findVariable(Name);
+    EXPECT_NE(V, nullptr) << Name;
+    return V;
+  }
+};
+
+TEST(InterferenceGraphTest, SimultaneouslyLiveValuesInterfere) {
+  Built B(testprogs::StraightLine);
+  // t1 is defined while a is live (a is used again by the sub).
+  EXPECT_TRUE(B.G->interfere(B.var("t1"), B.var("a")));
+  // b's last use is the add that defines t1: they do not interfere.
+  EXPECT_FALSE(B.G->interfere(B.var("t1"), B.var("b")));
+  EXPECT_FALSE(B.G->interfere(B.var("t3"), B.var("a")));
+}
+
+TEST(InterferenceGraphTest, LoopCarriedInterference) {
+  Built B(testprogs::SumLoop);
+  // i, sum and n are simultaneously live around the loop.
+  EXPECT_TRUE(B.G->interfere(B.var("i"), B.var("sum")));
+  EXPECT_TRUE(B.G->interfere(B.var("i"), B.var("n")));
+  EXPECT_TRUE(B.G->interfere(B.var("sum"), B.var("n")));
+}
+
+TEST(InterferenceGraphTest, CopySourceExemption) {
+  Built B(R"(
+func @f(%a) {
+entry:
+  %b = copy %a
+  %c = add %b, 1
+  ret %c
+}
+)");
+  EXPECT_FALSE(B.G->interfere(B.var("b"), B.var("a")))
+      << "a dies at the copy; Chaitin's refinement omits the edge";
+}
+
+TEST(InterferenceGraphTest, CopyWithLiveSourceStillInterferes) {
+  Built B(R"(
+func @f(%a) {
+entry:
+  %b = copy %a
+  %b = add %b, 1
+  %c = add %b, %a
+  ret %c
+}
+)");
+  EXPECT_TRUE(B.G->interfere(B.var("b"), B.var("a")))
+      << "b's second definition lands while a is still live";
+}
+
+TEST(InterferenceGraphTest, RestrictedGraphAgreesOnItsUniverse) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  Liveness LV(F);
+  InterferenceGraph Full(F, LV);
+
+  std::vector<Variable *> Subset;
+  for (const auto &V : F.variables())
+    if (V->id() % 2 == 0)
+      Subset.push_back(V.get());
+  InterferenceGraph::BuildOptions Opts;
+  Opts.Restrict = &Subset;
+  InterferenceGraph Small(F, LV, Opts);
+
+  EXPECT_EQ(Small.numNodes(), Subset.size());
+  for (Variable *A : Subset)
+    for (Variable *B : Subset) {
+      if (A == B)
+        continue;
+      EXPECT_EQ(Small.interfere(A, B), Full.interfere(A, B))
+          << A->name() << " vs " << B->name();
+    }
+}
+
+TEST(InterferenceGraphTest, RestrictedGraphIsMuchSmaller) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  // Inflate the variable universe the way large routines do. (The mapping
+  // array still costs O(all variables) in the restricted build, which the
+  // paper counts too — hence the padding must be large for a clear gap.)
+  for (int I = 0; I != 10000; ++I)
+    F.makeVariable("pad" + std::to_string(I));
+  Liveness LV(F);
+  InterferenceGraph Full(F, LV);
+  std::vector<Variable *> Two = {F.findVariable("i"), F.findVariable("j")};
+  InterferenceGraph::BuildOptions Opts;
+  Opts.Restrict = &Two;
+  InterferenceGraph Small(F, LV, Opts);
+  EXPECT_GT(Full.bytes(), 100 * Small.bytes())
+      << "the quadratic matrix dominates the full build";
+}
+
+TEST(InterferenceGraphTest, AdjacencyListsMatchTheMatrix) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  Liveness LV(F);
+  InterferenceGraph::BuildOptions Opts;
+  Opts.BuildAdjacencyLists = true;
+  InterferenceGraph G(F, LV, Opts);
+  for (const auto &A : F.variables()) {
+    unsigned FromLists = G.degree(A.get());
+    unsigned FromMatrix = 0;
+    for (const auto &B : F.variables())
+      if (A.get() != B.get() && G.interfere(A.get(), B.get()))
+        ++FromMatrix;
+    EXPECT_EQ(FromLists, FromMatrix) << A->name();
+    for (unsigned N : G.neighbors(A.get()))
+      EXPECT_TRUE(G.interfere(A.get(), G.nodeVariable(N)));
+  }
+}
+
+TEST(InterferenceGraphTest, MergeIntoFoldsNeighborSets) {
+  Built B(testprogs::SumLoop);
+  Variable *I = B.var("i"), *Sum = B.var("sum"), *C = B.var("c");
+  ASSERT_TRUE(B.G->interfere(I, Sum));
+  // c (the compare flag) does not interfere with sum... verify, then merge
+  // sum into c and observe c inheriting sum's edges.
+  bool Before = B.G->interfere(C, I);
+  B.G->mergeInto(C, Sum);
+  EXPECT_TRUE(B.G->interfere(C, I) || Before);
+  EXPECT_TRUE(B.G->interfere(C, I));
+}
+
+TEST(InterferenceGraphTest, PhiDefsInterferePairwise) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %x1 = const 1
+  %y1 = const 2
+  %i1 = const 0
+  br header
+header:
+  %x2 = phi [%x1, entry], [%y2, latch]
+  %y2 = phi [%y1, entry], [%x2, latch]
+  %i2 = phi [%i1, entry], [%i3, latch]
+  %c = cmplt %i2, %n
+  cbr %c, latch, exit
+latch:
+  %i3 = add %i2, 1
+  br header
+exit:
+  %r = add %x2, %y2
+  ret %r
+}
+)");
+  Function &F = *M->functions()[0];
+  Liveness LV(F);
+  InterferenceGraph G(F, LV);
+  EXPECT_TRUE(G.interfere(F.findVariable("x2"), F.findVariable("y2")))
+      << "parallel phi definitions interfere";
+}
+
+TEST(InterferenceGraphTest, EdgeCountMatchesPairScan) {
+  Built B(testprogs::NestedLoops);
+  size_t Pairs = 0;
+  for (const auto &A : B.F->variables())
+    for (const auto &C : B.F->variables())
+      if (A->id() < C->id() && B.G->interfere(A.get(), C.get()))
+        ++Pairs;
+  EXPECT_EQ(B.G->edgeCount(), Pairs);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/coalesce/CoalescingCheckerTest.cpp ---------------------------===//
+
+#include "coalesce/CoalescingChecker.h"
+
+#include "../common/TestPrograms.h"
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Variable.h"
+#include "ssa/SSABuilder.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+/// Location map merging an explicit list of groups; identity elsewhere.
+struct MergeMap {
+  std::vector<std::vector<const Variable *>> Groups;
+
+  const Variable *operator()(const Variable *V) const {
+    for (const auto &G : Groups)
+      for (const Variable *Member : G)
+        if (Member == V)
+          return G.front();
+    return V;
+  }
+};
+
+struct SSAProgram {
+  std::unique_ptr<Module> M;
+  Function *F;
+  std::unique_ptr<Liveness> LV;
+
+  SSAProgram(const char *Text, bool Fold) {
+    M = parseSingleFunctionOrDie(Text);
+    F = M->functions()[0].get();
+    splitCriticalEdges(*F);
+    DominatorTree DT(*F);
+    SSABuildOptions Opts;
+    Opts.FoldCopies = Fold;
+    buildSSA(*F, DT, Opts);
+    LV = std::make_unique<Liveness>(*F);
+  }
+
+  Variable *var(const char *Name) {
+    Variable *V = F->findVariable(Name);
+    EXPECT_NE(V, nullptr) << Name;
+    return V;
+  }
+};
+
+TEST(CoalescingCheckerTest, IdentityAlwaysPasses) {
+  for (const char *Text : {testprogs::SumLoop, testprogs::NestedLoops,
+                           testprogs::VirtualSwap}) {
+    SSAProgram P(Text, true);
+    std::string Error;
+    EXPECT_TRUE(checkCoalescing(
+        *P.F, *P.LV, [](const Variable *V) { return V; }, Error))
+        << Error;
+  }
+}
+
+TEST(CoalescingCheckerTest, FlagsMergingTwoLiveValues) {
+  SSAProgram P(testprogs::SumLoop, true);
+  // n and the loop-carried i.* are simultaneously live in the header.
+  MergeMap Map{{{P.var("n"), P.var("i.1")}}};
+  std::string Error;
+  EXPECT_FALSE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error));
+  EXPECT_NE(Error.find("simultaneously live"), std::string::npos) << Error;
+}
+
+TEST(CoalescingCheckerTest, AcceptsMergingDisjointLifetimes) {
+  SSAProgram P(testprogs::SumLoop, true);
+  // The compare result c.1 dies at the header's branch; i.3 (the body
+  // increment) is born after it.
+  MergeMap Map{{{P.var("c.1"), P.var("i.3")}}};
+  std::string Error;
+  EXPECT_TRUE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error)) << Error;
+}
+
+TEST(CoalescingCheckerTest, CopySourceExemptAtTheCopy) {
+  // Unfolded SSA keeps `m.1 = copy a`; merging m.1 with a overlaps only at
+  // the copy itself, which Chaitin's refinement permits.
+  SSAProgram P(testprogs::Diamond, /*Fold=*/false);
+  MergeMap Map{{{P.var("a"), P.var("m.1")}}};
+  std::string Error;
+  EXPECT_TRUE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error)) << Error;
+}
+
+TEST(CoalescingCheckerTest, CopySourceStillLiveAfterTheCopyIsFine) {
+  // After `b = copy a`, a and b hold the same value; reading both later is
+  // harmless, so merging them is legal — exactly Chaitin's refinement.
+  auto Text = R"(
+func @f(%a) {
+entry:
+  %b = copy %a
+  %c = add %b, %a
+  ret %c
+}
+)";
+  SSAProgram P(Text, /*Fold=*/false);
+  MergeMap Map{{{P.var("a"), P.var("b.1")}}};
+  std::string Error;
+  EXPECT_TRUE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error)) << Error;
+}
+
+TEST(CoalescingCheckerTest, FlagsRedefinitionWhileTheSourceLives) {
+  // b is redefined (b.2) while a is still live: merging a with b.2 would
+  // clobber a, and no copy exemption applies to the add.
+  auto Text = R"(
+func @f(%a) {
+entry:
+  %b = copy %a
+  %b = add %b, 1
+  %c = add %b, %a
+  ret %c
+}
+)";
+  SSAProgram P(Text, /*Fold=*/false);
+  MergeMap Map{{{P.var("a"), P.var("b.2")}}};
+  std::string Error;
+  EXPECT_FALSE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error))
+      << "a outlives the redefinition of b";
+}
+
+TEST(CoalescingCheckerTest, FlagsParallelPhiDefsSharingALocation) {
+  SSAProgram P(testprogs::SwapLoop, /*Fold=*/true);
+  // The two swapped phis in the header define in parallel; merging them is
+  // unsound no matter what.
+  BasicBlock *Header = P.F->findBlock("header");
+  ASSERT_GE(Header->phis().size(), 2u);
+  const Variable *D0 = Header->phis()[0]->getDef();
+  const Variable *D1 = Header->phis()[1]->getDef();
+  MergeMap Map{{{D0, D1}}};
+  std::string Error;
+  EXPECT_FALSE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error));
+}
+
+TEST(CoalescingCheckerTest, ErrorNamesTheOffendingPair) {
+  SSAProgram P(testprogs::SumLoop, true);
+  MergeMap Map{{{P.var("n"), P.var("sum.1")}}};
+  std::string Error;
+  ASSERT_FALSE(checkCoalescing(*P.F, *P.LV, std::cref(Map), Error));
+  EXPECT_NE(Error.find("n"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("sum.1"), std::string::npos) << Error;
+}
+
+} // namespace

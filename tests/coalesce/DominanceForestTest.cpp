@@ -1,0 +1,184 @@
+//===- tests/coalesce/DominanceForestTest.cpp -----------------------------===//
+
+#include "coalesce/DominanceForest.h"
+
+#include "../common/TestPrograms.h"
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "support/SplitMix64.h"
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace fcc;
+
+namespace {
+
+/// Finds the node index holding \p V; -1 when absent.
+int nodeOf(const DominanceForest &DF, const Variable *V) {
+  for (unsigned I = 0; I != DF.nodes().size(); ++I)
+    if (DF.nodes()[I].Member.Var == V)
+      return static_cast<int>(I);
+  return -1;
+}
+
+TEST(DominanceForestTest, EmptySet) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  DominanceForest DF({}, DT);
+  EXPECT_TRUE(DF.nodes().empty());
+  EXPECT_TRUE(DF.roots().empty());
+}
+
+TEST(DominanceForestTest, SingleMemberIsARoot) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *V = F.findVariable("c");
+  DominanceForest DF({{V, F.findBlock("entry"), 1}}, DT);
+  ASSERT_EQ(DF.nodes().size(), 1u);
+  EXPECT_EQ(DF.roots().size(), 1u);
+  EXPECT_EQ(DF.nodes()[0].Parent, -1);
+}
+
+TEST(DominanceForestTest, ChainFollowsDominance) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *A = F.findVariable("i");
+  Variable *B = F.findVariable("sum");
+  Variable *C = F.findVariable("n");
+  // entry dominates header dominates body.
+  DominanceForest DF({{A, F.findBlock("body"), 2},
+                      {B, F.findBlock("entry"), 1},
+                      {C, F.findBlock("header"), 1}},
+                     DT);
+  ASSERT_EQ(DF.nodes().size(), 3u);
+  ASSERT_EQ(DF.roots().size(), 1u);
+  int NB = nodeOf(DF, B), NC = nodeOf(DF, C), NA = nodeOf(DF, A);
+  EXPECT_EQ(DF.nodes()[NB].Parent, -1);
+  EXPECT_EQ(DF.nodes()[NC].Parent, NB);
+  EXPECT_EQ(DF.nodes()[NA].Parent, NC);
+}
+
+TEST(DominanceForestTest, SiblingArmsShareTheDominatingParent) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *E = F.findVariable("c");
+  Variable *L = F.findVariable("m");
+  Variable *R = F.findVariable("a");
+  DominanceForest DF({{L, F.findBlock("left"), 1},
+                      {R, F.findBlock("right"), 1},
+                      {E, F.findBlock("entry"), 1}},
+                     DT);
+  int NE = nodeOf(DF, E), NL = nodeOf(DF, L), NR = nodeOf(DF, R);
+  EXPECT_EQ(DF.nodes()[NE].Parent, -1);
+  EXPECT_EQ(DF.nodes()[NL].Parent, NE);
+  EXPECT_EQ(DF.nodes()[NR].Parent, NE);
+  EXPECT_EQ(DF.nodes()[NE].Children.size(), 2u);
+}
+
+TEST(DominanceForestTest, NonDominatingMembersBecomeSeparateRoots) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *L = F.findVariable("m");
+  Variable *R = F.findVariable("a");
+  DominanceForest DF(
+      {{L, F.findBlock("left"), 1}, {R, F.findBlock("right"), 1}}, DT);
+  EXPECT_EQ(DF.roots().size(), 2u)
+      << "neither arm dominates the other: a forest, not a tree";
+}
+
+TEST(DominanceForestTest, CollapsedPathsSkipNonMembers) {
+  // Members in entry and body only: body's parent must be entry even though
+  // header sits between them in the dominator tree.
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *A = F.findVariable("i");
+  Variable *B = F.findVariable("sum");
+  DominanceForest DF(
+      {{A, F.findBlock("entry"), 1}, {B, F.findBlock("body"), 1}}, DT);
+  int NA = nodeOf(DF, A), NB = nodeOf(DF, B);
+  EXPECT_EQ(DF.nodes()[NB].Parent, NA);
+}
+
+TEST(DominanceForestTest, SameBlockMembersChainInDefOrder) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *A = F.findVariable("i");
+  Variable *B = F.findVariable("sum");
+  Variable *C = F.findVariable("n");
+  BasicBlock *Body = F.findBlock("body");
+  DominanceForest DF({{B, Body, 5}, {A, Body, 0}, {C, Body, 2}}, DT);
+  int NA = nodeOf(DF, A), NB = nodeOf(DF, B), NC = nodeOf(DF, C);
+  EXPECT_EQ(DF.nodes()[NA].Parent, -1);
+  EXPECT_EQ(DF.nodes()[NC].Parent, NA);
+  EXPECT_EQ(DF.nodes()[NB].Parent, NC);
+}
+
+/// Brute-force reference for Definition 3.1: the parent of v is the closest
+/// member whose block strictly dominates (or same-block precedes) v's,
+/// with no other member in between.
+TEST(DominanceForestTest, MatchesDefinitionOnRandomMemberSets) {
+  auto M = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+
+  SplitMix64 Rng(2024);
+  for (unsigned Trial = 0; Trial != 50; ++Trial) {
+    // Pick a random subset of blocks (one member each to honor Def. 3.1).
+    std::vector<ForestMember> Members;
+    std::vector<Variable *> Owned;
+    for (const auto &B : F.blocks()) {
+      if (!Rng.chancePercent(55))
+        continue;
+      Variable *V = F.makeVariable("t" + std::to_string(Trial) + "." +
+                                   std::to_string(B->id()));
+      Members.push_back({V, B.get(), 1});
+    }
+    DominanceForest DF(Members, DT);
+    ASSERT_EQ(DF.nodes().size(), Members.size());
+
+    // Reference parent computation.
+    for (const auto &Node : DF.nodes()) {
+      const BasicBlock *Best = nullptr;
+      for (const ForestMember &Other : Members) {
+        if (Other.Var == Node.Member.Var)
+          continue;
+        if (!DT.strictlyDominates(Other.DefBlock, Node.Member.DefBlock))
+          continue;
+        if (!Best || DT.strictlyDominates(Best, Other.DefBlock))
+          Best = Other.DefBlock;
+      }
+      if (!Best) {
+        EXPECT_EQ(Node.Parent, -1);
+      } else {
+        ASSERT_GE(Node.Parent, 0);
+        EXPECT_EQ(DF.nodes()[Node.Parent].Member.DefBlock, Best)
+            << "wrong parent for member in " << Node.Member.DefBlock->name();
+      }
+    }
+  }
+}
+
+TEST(DominanceForestTest, RootsAreReportedInPreorder) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DominatorTree DT(F);
+  Variable *L = F.findVariable("m");
+  Variable *R = F.findVariable("a");
+  DominanceForest DF(
+      {{R, F.findBlock("right"), 1}, {L, F.findBlock("left"), 1}}, DT);
+  ASSERT_EQ(DF.roots().size(), 2u);
+  unsigned P0 = DT.preorder(DF.nodes()[DF.roots()[0]].Member.DefBlock);
+  unsigned P1 = DT.preorder(DF.nodes()[DF.roots()[1]].Member.DefBlock);
+  EXPECT_LT(P0, P1);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/coalesce/KernelCoalescingTest.cpp ----------------------------===//
+//
+// Pins down the coalescer's exact results on the hand-written kernels —
+// the numbers EXPERIMENTS.md reports. A regression here means the
+// algorithm's precision changed, not just an implementation detail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalesce/FastCoalescer.h"
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "pipeline/Pipeline.h"
+#include "ssa/SSABuilder.h"
+#include "workload/KernelSuite.h"
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace fcc;
+
+namespace {
+
+const RoutineSpec &kernelByName(const char *Name) {
+  for (const RoutineSpec &Spec : kernelSuite())
+    if (Spec.Name == Name)
+      return Spec;
+  ADD_FAILURE() << "no kernel named " << Name;
+  static RoutineSpec Dummy;
+  return Dummy;
+}
+
+TEST(KernelCoalescingTest, LoopNestsCoalesceCompletely) {
+  // Pure loop nests: every phi web folds into one location, zero copies.
+  for (const char *Name : {"tomcatv", "blts", "buts", "saxpy", "fieldx",
+                           "radfgx", "radbgx", "jacld", "getbx", "parmvrx",
+                           "parmvex", "fpppp", "deseco"}) {
+    RoutineReport R = runOnRoutine(kernelByName(Name), PipelineKind::New,
+                                   /*Execute=*/true);
+    EXPECT_EQ(R.Compile.StaticCopies, 0u) << Name;
+    EXPECT_EQ(R.Exec.CopiesExecuted, 0u) << Name;
+  }
+}
+
+TEST(KernelCoalescingTest, RotationKernelsKeepTheirNecessaryCopies) {
+  // The sliding-window kernels carry values across redefinitions; those
+  // copies are genuinely necessary, and the expected counts match the
+  // graph coalescer's exactly.
+  const std::map<std::string, unsigned> Expected = {
+      {"twldrv", 3}, {"smoothx", 2}, {"rhs", 1}, {"advbndx", 1},
+      {"parmovx", 4}, {"initx", 1}};
+  for (const auto &[Name, Copies] : Expected) {
+    RoutineReport New =
+        runOnRoutine(kernelByName(Name.c_str()), PipelineKind::New, false);
+    RoutineReport Graph = runOnRoutine(kernelByName(Name.c_str()),
+                                       PipelineKind::BriggsImproved, false);
+    EXPECT_EQ(New.Compile.StaticCopies, Copies) << Name;
+    EXPECT_EQ(New.Compile.StaticCopies, Graph.Compile.StaticCopies)
+        << Name << ": parity with the graph coalescer";
+  }
+}
+
+TEST(KernelCoalescingTest, TwldrvSwapCopiesStayOnTheColdEdge) {
+  // The conditional swap's copies must land on the doswap edge, not on the
+  // loop back edges: 2 iterations of the swap execute ~3 copies each and
+  // nothing more.
+  RoutineReport R =
+      runOnRoutine(kernelByName("twldrv"), PipelineKind::New, true);
+  RoutineReport G = runOnRoutine(kernelByName("twldrv"),
+                                 PipelineKind::BriggsImproved, true);
+  EXPECT_EQ(R.Exec.CopiesExecuted, G.Exec.CopiesExecuted);
+  EXPECT_LE(R.Exec.CopiesExecuted, 6u);
+}
+
+TEST(KernelCoalescingTest, LazyModeNeedsMultipleRoundsOnSwaps) {
+  const RoutineSpec &Spec = kernelByName("twldrv");
+  auto M = Spec.materialize();
+  Function &F = *M->functions()[0];
+  splitCriticalEdges(F);
+  DominatorTree DT(F);
+  SSABuildOptions Build;
+  Build.FoldCopies = true;
+  buildSSA(F, DT, Build);
+  Liveness LV(F);
+
+  FastCoalescerOptions Opts;
+  Opts.EagerSetChecks = false; // Lazy: evictions happen, rounds kick in.
+  FastCoalescer Coalescer(F, DT, LV, Opts);
+  Coalescer.computePartition();
+  FastCoalesceStats Stats = Coalescer.rewrite();
+  EXPECT_GE(Stats.Rounds, 2u)
+      << "the evicted x-chain must re-coalesce in a second round";
+  EXPECT_GT(Stats.ForestEvictions + Stats.LocalEvictions, 0u);
+}
+
+TEST(KernelCoalescingTest, EagerModeRunsASingleRound) {
+  const RoutineSpec &Spec = kernelByName("twldrv");
+  auto M = Spec.materialize();
+  Function &F = *M->functions()[0];
+  splitCriticalEdges(F);
+  DominatorTree DT(F);
+  SSABuildOptions Build;
+  Build.FoldCopies = true;
+  buildSSA(F, DT, Build);
+  Liveness LV(F);
+
+  FastCoalescer Coalescer(F, DT, LV, FastCoalescerOptions());
+  Coalescer.computePartition();
+  FastCoalesceStats Stats = Coalescer.rewrite();
+  EXPECT_EQ(Stats.Rounds, 1u);
+  EXPECT_EQ(Stats.ForestEvictions, 0u)
+      << "eager checks reject doomed unions before any eviction is needed";
+}
+
+} // namespace

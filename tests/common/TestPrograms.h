@@ -1,0 +1,194 @@
+//===- tests/common/TestPrograms.h - Shared IR fixtures ---------*- C++ -*-===//
+///
+/// \file
+/// Canonical textual-IR programs shared across the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_TESTS_COMMON_TESTPROGRAMS_H
+#define FCC_TESTS_COMMON_TESTPROGRAMS_H
+
+namespace fcc::testprogs {
+
+/// Straight-line arithmetic, no control flow.
+inline constexpr const char *StraightLine = R"(
+func @straight(%a, %b)  {
+entry:
+  %t1 = add %a, %b
+  %t2 = mul %t1, %t1
+  %t3 = sub %t2, %a
+  ret %t3
+}
+)";
+
+/// Counted loop: sums 0..n-1.
+inline constexpr const char *SumLoop = R"(
+func @sumloop(%n) {
+entry:
+  %i = const 0
+  %sum = const 0
+  br header
+header:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %sum = add %sum, %i
+  %i = add %i, 1
+  br header
+exit:
+  ret %sum
+}
+)";
+
+/// If/else diamond computing max(a, b).
+inline constexpr const char *Diamond = R"(
+func @diamond(%a, %b) {
+entry:
+  %c = cmpgt %a, %b
+  cbr %c, left, right
+left:
+  %m = copy %a
+  br join
+right:
+  %m = copy %b
+  br join
+join:
+  ret %m
+}
+)";
+
+/// Figure 3 of the paper: the virtual swap problem. The two arms copy (a, b)
+/// into (x, y) in opposite orders; naive coalescing of the folded phis would
+/// merge interfering names.
+inline constexpr const char *VirtualSwap = R"(
+func @virtswap(%c) {
+entry:
+  %a = const 1
+  %b = const 2
+  cbr %c, left, right
+left:
+  %x = copy %a
+  %y = copy %b
+  br join
+right:
+  %x = copy %b
+  %y = copy %a
+  br join
+join:
+  %q = div %x, %y
+  ret %q
+}
+)";
+
+/// The classic swap problem: a loop whose phis permute each other's values.
+inline constexpr const char *SwapLoop = R"(
+func @swaploop(%n) {
+entry:
+  %x = const 1
+  %y = const 2
+  %i = const 0
+  br header
+header:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %t = copy %x
+  %x = copy %y
+  %y = copy %t
+  %i = add %i, 1
+  br header
+exit:
+  %r = mul %x, 10
+  %r2 = add %r, %y
+  ret %r2
+}
+)";
+
+/// The lost-copy shape: a value live out of a loop body along the back edge's
+/// critical sibling edge.
+inline constexpr const char *LostCopy = R"(
+func @lostcopy(%n) {
+entry:
+  %i = const 1
+  br header
+header:
+  %j = copy %i
+  %i = add %j, 1
+  %c = cmplt %i, %n
+  cbr %c, header, exit
+exit:
+  ret %j
+}
+)";
+
+/// Memory traffic: writes then folds an array of 8 cells.
+inline constexpr const char *ArraySum = R"(
+func @arraysum(%n) {
+entry:
+  %i = const 0
+  br fill
+fill:
+  %fc = cmplt %i, 8
+  cbr %fc, fillbody, sumhead
+fillbody:
+  %v = mul %i, %n
+  store %i, %v
+  %i = add %i, 1
+  br fill
+sumhead:
+  %j = const 0
+  %acc = const 0
+  br sum
+sum:
+  %sc = cmplt %j, 8
+  cbr %sc, sumbody, exit
+sumbody:
+  %x = load %j
+  %acc = add %acc, %x
+  %j = add %j, 1
+  br sum
+exit:
+  ret %acc
+}
+)";
+
+/// Nested loops with an inner conditional; stresses pruned-SSA placement.
+inline constexpr const char *NestedLoops = R"(
+func @nested(%n, %m) {
+entry:
+  %i = const 0
+  %acc = const 0
+  br outer
+outer:
+  %oc = cmplt %i, %n
+  cbr %oc, oinit, exit
+oinit:
+  %j = const 0
+  br inner
+inner:
+  %ic = cmplt %j, %m
+  cbr %ic, ibody, onext
+ibody:
+  %p = mul %i, %j
+  %odd = mod %p, 2
+  cbr %odd, addit, skipit
+addit:
+  %acc = add %acc, %p
+  br inext
+skipit:
+  %acc = sub %acc, 1
+  br inext
+inext:
+  %j = add %j, 1
+  br inner
+onext:
+  %i = add %i, 1
+  br outer
+exit:
+  ret %acc
+}
+)";
+
+} // namespace fcc::testprogs
+
+#endif // FCC_TESTS_COMMON_TESTPROGRAMS_H

@@ -1,0 +1,57 @@
+//===- tests/common/TestUtils.h - Shared test helpers -----------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the SSA, coalescing and pipeline tests: run a function
+/// under the interpreter and compare observable behaviour of two functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_TESTS_COMMON_TESTUTILS_H
+#define FCC_TESTS_COMMON_TESTUTILS_H
+
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace fcc::testutils {
+
+/// Runs \p F on \p Args with the default interpreter configuration.
+inline ExecutionResult run(const Function &F, std::vector<int64_t> Args = {}) {
+  return Interpreter().run(F, Args);
+}
+
+/// Asserts \p Got behaves exactly like \p Want on \p Args: same completion,
+/// return value, and final memory image.
+inline void expectSameBehavior(const Function &Want, const Function &Got,
+                               std::vector<int64_t> Args = {}) {
+  ExecutionResult W = run(Want, Args);
+  ExecutionResult G = run(Got, Args);
+  ASSERT_TRUE(W.Completed) << "reference program did not terminate";
+  EXPECT_TRUE(G.Completed) << "transformed program did not terminate:\n"
+                           << printFunction(Got);
+  EXPECT_EQ(W.ReturnValue, G.ReturnValue)
+      << "return values diverge:\n"
+      << printFunction(Got);
+  EXPECT_EQ(W.FinalMemory, G.FinalMemory)
+      << "memory images diverge:\n"
+      << printFunction(Got);
+}
+
+/// Argument vectors that exercise both sides of typical branches and a few
+/// loop trip counts.
+inline std::vector<std::vector<int64_t>> interestingArgs(unsigned NumParams) {
+  std::vector<std::vector<int64_t>> Sets;
+  for (int64_t Base : {0, 1, 2, 3, 5, 8, -1}) {
+    std::vector<int64_t> Args;
+    for (unsigned I = 0; I != NumParams; ++I)
+      Args.push_back(Base + static_cast<int64_t>(I));
+    Sets.push_back(std::move(Args));
+  }
+  return Sets;
+}
+
+} // namespace fcc::testutils
+
+#endif // FCC_TESTS_COMMON_TESTUTILS_H

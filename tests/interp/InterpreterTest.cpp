@@ -1,0 +1,188 @@
+//===- tests/interp/InterpreterTest.cpp -----------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+int64_t runRet(const char *Text, std::vector<int64_t> Args = {}) {
+  auto M = parseSingleFunctionOrDie(Text);
+  ExecutionResult R = Interpreter().run(*M->functions()[0], Args);
+  EXPECT_TRUE(R.Completed);
+  return R.ReturnValue;
+}
+
+TEST(InterpreterTest, Arithmetic) {
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 6\n  %b = const 7\n"
+                   "  %c = mul %a, %b\n  ret %c\n}"),
+            42);
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 10\n  %b = sub %a, 3\n"
+                   "  ret %b\n}"),
+            7);
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 7\n  %b = mod %a, 3\n"
+                   "  ret %b\n}"),
+            1);
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 5\n  %b = neg %a\n"
+                   "  ret %b\n}"),
+            -5);
+}
+
+TEST(InterpreterTest, DivisionByZeroIsZero) {
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 5\n  %z = const 0\n"
+                   "  %d = div %a, %z\n  ret %d\n}"),
+            0);
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 5\n  %z = const 0\n"
+                   "  %d = mod %a, %z\n  ret %d\n}"),
+            0);
+}
+
+TEST(InterpreterTest, Comparisons) {
+  EXPECT_EQ(runRet("func @f(%a, %b) {\nentry:\n  %c = cmplt %a, %b\n"
+                   "  ret %c\n}",
+                   {3, 4}),
+            1);
+  EXPECT_EQ(runRet("func @f(%a, %b) {\nentry:\n  %c = cmpge %a, %b\n"
+                   "  ret %c\n}",
+                   {3, 4}),
+            0);
+  EXPECT_EQ(runRet("func @f(%a, %b) {\nentry:\n  %c = cmpeq %a, %b\n"
+                   "  ret %c\n}",
+                   {4, 4}),
+            1);
+}
+
+TEST(InterpreterTest, ParameterBinding) {
+  const char *Text = "func @f(%a, %b) {\nentry:\n  %c = add %a, %b\n"
+                     "  ret %c\n}";
+  EXPECT_EQ(runRet(Text, {2, 3}), 5);
+  EXPECT_EQ(runRet(Text, {2}), 2) << "missing arguments default to zero";
+  EXPECT_EQ(runRet(Text, {2, 3, 99}), 5) << "extra arguments are ignored";
+}
+
+TEST(InterpreterTest, LoopsAndBranches) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  ExecutionResult R = Interpreter().run(*M->functions()[0], {5});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(InterpreterTest, MemoryRoundTrip) {
+  auto M = parseSingleFunctionOrDie(testprogs::ArraySum);
+  ExecutionResult R = Interpreter().run(*M->functions()[0], {3});
+  EXPECT_TRUE(R.Completed);
+  // memory[i] = 3*i for i in 0..7; sum = 3 * 28.
+  EXPECT_EQ(R.ReturnValue, 84);
+  EXPECT_EQ(R.FinalMemory[7], 21);
+}
+
+TEST(InterpreterTest, MemoryAddressesWrap) {
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const 100\n  %v = const 9\n"
+                   "  store %a, %v\n  %addr = const 36\n  %r = load %addr\n"
+                   "  ret %r\n}"),
+            9)
+      << "address 100 wraps to 36 in a 64-word memory";
+}
+
+TEST(InterpreterTest, NegativeAddressesWrapConsistently) {
+  EXPECT_EQ(runRet("func @f() {\nentry:\n  %a = const -1\n  %v = const 5\n"
+                   "  store %a, %v\n  %b = const -1\n  %r = load %b\n"
+                   "  ret %r\n}"),
+            5);
+}
+
+TEST(InterpreterTest, CopiesAreCounted) {
+  auto M = parseSingleFunctionOrDie(testprogs::SwapLoop);
+  ExecutionResult R = Interpreter().run(*M->functions()[0], {3});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.CopiesExecuted, 9u) << "three copies per iteration, three trips";
+}
+
+TEST(InterpreterTest, StepLimitHaltsInfiniteLoops) {
+  Interpreter Small(64, 1000);
+  auto M = parseSingleFunctionOrDie(
+      "func @f() {\nentry:\n  br entry2\nentry2:\n  br entry2\n}");
+  ExecutionResult R = Small.run(*M->functions()[0], {});
+  EXPECT_FALSE(R.Completed);
+  EXPECT_LE(R.InstructionsExecuted, 1001u);
+}
+
+TEST(InterpreterTest, PhiParallelSwapSemantics) {
+  // Hand-written SSA with mutually swapping phis: x2 = phi(x1->..., y2),
+  // y2 = phi(y1, x2). Both phis must read pre-entry values.
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %x1 = const 1
+  %y1 = const 2
+  %i1 = const 0
+  br header
+header:
+  %x2 = phi [%x1, entry], [%y2, latch]
+  %y2 = phi [%y1, entry], [%x2, latch]
+  %i2 = phi [%i1, entry], [%i3, latch]
+  %c = cmplt %i2, %n
+  cbr %c, latch, exit
+latch:
+  %i3 = add %i2, 1
+  br header
+exit:
+  %hi = mul %x2, 10
+  %r = add %hi, %y2
+  ret %r
+}
+)");
+  Function &F = *M->functions()[0];
+  ExecutionResult R0 = Interpreter().run(F, {0});
+  EXPECT_EQ(R0.ReturnValue, 12);
+  ExecutionResult R1 = Interpreter().run(F, {1});
+  EXPECT_EQ(R1.ReturnValue, 21) << "one swap: x=2, y=1";
+  ExecutionResult R2 = Interpreter().run(F, {2});
+  EXPECT_EQ(R2.ReturnValue, 12) << "two swaps return to the start";
+}
+
+TEST(InterpreterTest, InstructionCountsExcludePhis) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%c) {
+entry:
+  %a = const 1
+  cbr %c, l, r
+l:
+  br j
+r:
+  br j
+j:
+  %x = phi [%a, l], [0, r]
+  ret %x
+}
+)");
+  ExecutionResult R = Interpreter().run(*M->functions()[0], {1});
+  // entry: const + cbr; l: br; j: ret. The phi itself is not counted.
+  EXPECT_EQ(R.InstructionsExecuted, 4u);
+  EXPECT_EQ(R.ReturnValue, 1);
+}
+
+TEST(InterpreterTest, ImmediatePhiOperand) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%c) {
+entry:
+  cbr %c, l, r
+l:
+  br j
+r:
+  br j
+j:
+  %x = phi [7, l], [8, r]
+  ret %x
+}
+)");
+  EXPECT_EQ(Interpreter().run(*M->functions()[0], {1}).ReturnValue, 7);
+  EXPECT_EQ(Interpreter().run(*M->functions()[0], {0}).ReturnValue, 8);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/ir/VerifierTest.cpp ------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+class VerifierGoodTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(VerifierGoodTest, WellFormedProgramsVerify) {
+  auto M = parseSingleFunctionOrDie(GetParam());
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(*M->functions()[0], Error)) << Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, VerifierGoodTest,
+                         ::testing::Values(testprogs::StraightLine,
+                                           testprogs::SumLoop,
+                                           testprogs::Diamond,
+                                           testprogs::VirtualSwap,
+                                           testprogs::SwapLoop,
+                                           testprogs::LostCopy,
+                                           testprogs::ArraySum,
+                                           testprogs::NestedLoops));
+
+TEST(VerifierTest, DetectsMissingTerminator) {
+  Function F("f");
+  F.makeBlock("entry");
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("terminator"), std::string::npos) << Error;
+}
+
+TEST(VerifierTest, DetectsEntryWithPredecessors) {
+  Function F("f");
+  BasicBlock *E = F.makeBlock("entry");
+  E->append(std::make_unique<Instruction>(Opcode::Br, nullptr,
+                                          std::vector<Operand>{},
+                                          std::vector<BasicBlock *>{E}));
+  F.recomputePreds();
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("entry"), std::string::npos) << Error;
+}
+
+TEST(VerifierTest, DetectsUnreachableBlock) {
+  Function F("f");
+  BasicBlock *E = F.makeBlock("entry");
+  BasicBlock *Dead = F.makeBlock("dead");
+  E->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
+                                          std::vector<Operand>{Operand::imm(0)}));
+  Dead->append(std::make_unique<Instruction>(
+      Opcode::Ret, nullptr, std::vector<Operand>{Operand::imm(1)}));
+  F.recomputePreds();
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("unreachable"), std::string::npos) << Error;
+}
+
+TEST(VerifierTest, DetectsStalePredecessorList) {
+  Function F("f");
+  BasicBlock *E = F.makeBlock("entry");
+  BasicBlock *B = F.makeBlock("b");
+  E->append(std::make_unique<Instruction>(Opcode::Br, nullptr,
+                                          std::vector<Operand>{},
+                                          std::vector<BasicBlock *>{B}));
+  B->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
+                                          std::vector<Operand>{Operand::imm(0)}));
+  // recomputePreds() deliberately not called: B's pred list is empty.
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("predecessor"), std::string::npos) << Error;
+}
+
+TEST(VerifierTest, DetectsForeignVariable) {
+  Function F("f");
+  Function Other("g");
+  Variable *Foreign = Other.makeVariable("x");
+  BasicBlock *E = F.makeBlock("entry");
+  E->append(std::make_unique<Instruction>(
+      Opcode::Ret, nullptr, std::vector<Operand>{Operand::var(Foreign)}));
+  F.recomputePreds();
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("foreign"), std::string::npos) << Error;
+}
+
+TEST(VerifierTest, DetectsPhiOperandCountMismatch) {
+  Function F("f");
+  BasicBlock *E = F.makeBlock("entry");
+  BasicBlock *B = F.makeBlock("b");
+  Variable *X = F.makeVariable("x");
+  E->append(std::make_unique<Instruction>(Opcode::Br, nullptr,
+                                          std::vector<Operand>{},
+                                          std::vector<BasicBlock *>{B}));
+  B->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
+                                          std::vector<Operand>{Operand::imm(0)}));
+  F.recomputePreds();
+  // One pred, but two phi operands.
+  B->addPhi(std::make_unique<Instruction>(
+      Opcode::Phi, X, std::vector<Operand>{Operand::imm(1), Operand::imm(2)}));
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("phi operand count"), std::string::npos) << Error;
+}
+
+TEST(VerifierTest, DetectsEmptyFunction) {
+  Function F("f");
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, Error));
+  EXPECT_NE(Error.find("no blocks"), std::string::npos) << Error;
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/pipeline/CornerCaseTest.cpp ----------------------------------===//
+//
+// Degenerate programs through every pipeline: single blocks, no variables,
+// no phis, immediate-only flows, parameters that are never used, blocks
+// that only branch. These shapes skip whole phases and historically hide
+// off-by-one bugs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "../common/TestUtils.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+struct CornerCase {
+  const char *Name;
+  const char *Text;
+  std::vector<int64_t> Args;
+};
+
+const CornerCase Cases[] = {
+    {"ret-const", R"(
+func @f() {
+entry:
+  ret 42
+}
+)", {}},
+    {"ret-param", R"(
+func @f(%a) {
+entry:
+  ret %a
+}
+)", {7}},
+    {"unused-params", R"(
+func @f(%a, %b, %c) {
+entry:
+  ret 1
+}
+)", {1, 2, 3}},
+    {"immediate-only", R"(
+func @f() {
+entry:
+  %x = const 2
+  %y = mul %x, 3
+  ret %y
+}
+)", {}},
+    {"branch-chain", R"(
+func @f(%a) {
+entry:
+  br b1
+b1:
+  br b2
+b2:
+  br b3
+b3:
+  ret %a
+}
+)", {9}},
+    {"self-contained-diamond", R"(
+func @f(%c) {
+entry:
+  cbr %c, l, r
+l:
+  br j
+r:
+  br j
+j:
+  ret %c
+}
+)", {1}},
+    {"zero-trip-loop", R"(
+func @f(%n) {
+entry:
+  %i = const 0
+  br head
+head:
+  %c = cmplt %i, 0
+  cbr %c, body, exit
+body:
+  %i = add %i, 1
+  br head
+exit:
+  ret %i
+}
+)", {5}},
+    {"copy-only-body", R"(
+func @f(%a) {
+entry:
+  %b = copy %a
+  %c = copy %b
+  ret %c
+}
+)", {11}},
+    {"nested-diamonds", R"(
+func @f(%a, %b) {
+entry:
+  cbr %a, o1, o2
+o1:
+  cbr %b, i1, i2
+o2:
+  br j
+i1:
+  %x = const 1
+  br ij
+i2:
+  %x = const 2
+  br ij
+ij:
+  %y = add %x, 1
+  br j
+j:
+  ret %b
+}
+)", {1, 0}},
+};
+
+class CornerCaseTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(CornerCaseTest, AllPipelinesHandleDegenerateShapes) {
+  auto [Index, KindInt] = GetParam();
+  const CornerCase &Case = Cases[Index];
+  auto MRef = parseSingleFunctionOrDie(Case.Text);
+  auto MGot = parseSingleFunctionOrDie(Case.Text);
+  Function &Got = *MGot->functions()[0];
+  runPipeline(Got, static_cast<PipelineKind>(KindInt));
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(Got, Error)) << Case.Name << ": " << Error;
+  EXPECT_EQ(Got.phiCount(), 0u);
+  testutils::expectSameBehavior(*MRef->functions()[0], Got, Case.Args);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CornerCaseTest,
+    ::testing::Combine(::testing::Range<size_t>(0, std::size(Cases)),
+                       ::testing::Values(0, 1, 2, 3)));
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/regalloc/GraphColoringAllocatorTest.cpp ----------------------===//
+
+#include "regalloc/GraphColoringAllocator.h"
+
+#include "../common/TestPrograms.h"
+#include "analysis/Liveness.h"
+#include "baseline/InterferenceGraph.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Variable.h"
+#include "pipeline/Pipeline.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+/// Asserts no interfering pair shares a register.
+void checkColoring(const Function &F, const RegAllocResult &R) {
+  Liveness LV(F);
+  InterferenceGraph Graph(F, LV);
+  for (const auto &A : F.variables())
+    for (const auto &B : F.variables()) {
+      if (A->id() >= B->id())
+        continue;
+      int RA = R.RegisterOf[A->id()], RB = R.RegisterOf[B->id()];
+      if (RA < 0 || RB < 0 || RA != RB)
+        continue;
+      EXPECT_FALSE(Graph.interfere(A.get(), B.get()))
+          << A->name() << " and " << B->name() << " share r" << RA;
+    }
+}
+
+TEST(GraphColoringAllocatorTest, StraightLineNeedsFewRegisters) {
+  auto M = parseSingleFunctionOrDie(testprogs::StraightLine);
+  Function &F = *M->functions()[0];
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 4;
+  RegAllocResult R = allocateRegisters(F, Opts);
+  EXPECT_TRUE(R.Spilled.empty());
+  EXPECT_LE(R.RegistersUsed, 4u);
+  checkColoring(F, R);
+}
+
+TEST(GraphColoringAllocatorTest, LoopNeedsAtLeastThreeRegisters) {
+  // i, sum, n are simultaneously live in the loop.
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 8;
+  RegAllocResult R = allocateRegisters(F, Opts);
+  EXPECT_TRUE(R.Spilled.empty());
+  EXPECT_GE(R.RegistersUsed, 3u);
+  checkColoring(F, R);
+}
+
+TEST(GraphColoringAllocatorTest, TooFewRegistersForcesSpills) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 1;
+  RegAllocResult R = allocateRegisters(F, Opts);
+  EXPECT_FALSE(R.Spilled.empty());
+  checkColoring(F, R);
+}
+
+TEST(GraphColoringAllocatorTest, SpillsPreferCheapValues) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 2;
+  RegAllocResult R = allocateRegisters(F, Opts);
+  checkColoring(F, R);
+  // The loop-resident names (i, sum) are 10x costlier than entry-only ones;
+  // at least one of them must still hold a register.
+  bool LoopNameColored = false;
+  for (const char *Name : {"i", "sum"})
+    if (R.RegisterOf[F.findVariable(Name)->id()] >= 0)
+      LoopNameColored = true;
+  EXPECT_TRUE(LoopNameColored);
+}
+
+TEST(GraphColoringAllocatorTest, ColoringIsValidOnAllKernelsAfterNew) {
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M = Spec.materialize();
+    Function &F = *M->functions()[0];
+    runPipeline(F, PipelineKind::New);
+    RegAllocOptions Opts;
+    Opts.NumRegisters = 6;
+    RegAllocResult R = allocateRegisters(F, Opts);
+    checkColoring(F, R);
+    EXPECT_LE(R.RegistersUsed, 6u) << Spec.Name;
+  }
+}
+
+TEST(GraphColoringAllocatorTest, ManyRegistersMeansNoSpills) {
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M = Spec.materialize();
+    Function &F = *M->functions()[0];
+    runPipeline(F, PipelineKind::New);
+    RegAllocOptions Opts;
+    Opts.NumRegisters = 64;
+    RegAllocResult R = allocateRegisters(F, Opts);
+    EXPECT_TRUE(R.Spilled.empty()) << Spec.Name;
+    checkColoring(F, R);
+  }
+}
+
+TEST(GraphColoringAllocatorTest, DeterministicAssignments) {
+  auto M1 = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  auto M2 = parseSingleFunctionOrDie(testprogs::NestedLoops);
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 4;
+  RegAllocResult R1 = allocateRegisters(*M1->functions()[0], Opts);
+  RegAllocResult R2 = allocateRegisters(*M2->functions()[0], Opts);
+  EXPECT_EQ(R1.RegisterOf, R2.RegisterOf);
+  EXPECT_EQ(R1.Spilled.size(), R2.Spilled.size());
+}
+
+TEST(GraphColoringAllocatorTest, CoalescingReducesRegisterPressureVsStandard) {
+  // The New pipeline merges phi webs into single locations; Standard leaves
+  // every SSA name separate plus its copies. Coloring the former should
+  // never need more registers.
+  unsigned WorseCount = 0;
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto MN = Spec.materialize();
+    auto MS = Spec.materialize();
+    runPipeline(*MN->functions()[0], PipelineKind::New);
+    runPipeline(*MS->functions()[0], PipelineKind::Standard);
+    RegAllocOptions Opts;
+    Opts.NumRegisters = 32;
+    RegAllocResult RN = allocateRegisters(*MN->functions()[0], Opts);
+    RegAllocResult RS = allocateRegisters(*MS->functions()[0], Opts);
+    if (RN.RegistersUsed > RS.RegistersUsed)
+      ++WorseCount;
+  }
+  EXPECT_LE(WorseCount, 2u)
+      << "coalesced code should rarely color worse than naive code";
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/ssa/StandardDestructionTest.cpp ------------------------------===//
+
+#include "ssa/StandardDestruction.h"
+
+#include "../common/TestPrograms.h"
+#include "../common/TestUtils.h"
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "ssa/SSABuilder.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+DestructionStats roundTrip(Function &F, bool Fold) {
+  splitCriticalEdges(F);
+  DominatorTree DT(F);
+  SSABuildOptions Opts;
+  Opts.FoldCopies = Fold;
+  buildSSA(F, DT, Opts);
+  return destroySSAStandard(F);
+}
+
+TEST(StandardDestructionTest, RemovesAllPhis) {
+  auto M = parseSingleFunctionOrDie(testprogs::SumLoop);
+  Function &F = *M->functions()[0];
+  roundTrip(F, /*Fold=*/true);
+  EXPECT_EQ(F.phiCount(), 0u);
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, Error)) << Error;
+}
+
+TEST(StandardDestructionTest, InsertsOneCopyPerPhiEdgeOnTrees) {
+  auto M = parseSingleFunctionOrDie(testprogs::Diamond);
+  Function &F = *M->functions()[0];
+  DestructionStats Stats = roundTrip(F, /*Fold=*/true);
+  // One phi with two incoming edges, no cycles: exactly two copies.
+  EXPECT_EQ(Stats.CopiesInserted, 2u);
+  EXPECT_EQ(Stats.TempsUsed, 0u);
+}
+
+TEST(StandardDestructionTest, FoldingThenNaiveInsertionGrowsCopyCount) {
+  // The effect the paper's introduction describes: folding deletes the four
+  // source copies, but naive instantiation brings more back.
+  auto MF = parseSingleFunctionOrDie(testprogs::VirtualSwap);
+  Function &Folded = *MF->functions()[0];
+  unsigned OriginalCopies = Folded.staticCopyCount();
+  roundTrip(Folded, /*Fold=*/true);
+  EXPECT_GE(Folded.staticCopyCount(), OriginalCopies)
+      << "naive phi instantiation reintroduces at least as many copies";
+}
+
+class StandardDestructionSemanticsTest
+    : public ::testing::TestWithParam<std::tuple<const char *, bool>> {};
+
+TEST_P(StandardDestructionSemanticsTest, RoundTripPreservesSemantics) {
+  auto [Text, Fold] = GetParam();
+  auto MRef = parseSingleFunctionOrDie(Text);
+  auto MGot = parseSingleFunctionOrDie(Text);
+  Function &Ref = *MRef->functions()[0];
+  Function &Got = *MGot->functions()[0];
+  roundTrip(Got, Fold);
+  EXPECT_EQ(Got.phiCount(), 0u);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(Got, Error)) << Error;
+  for (const auto &Args : testutils::interestingArgs(
+           static_cast<unsigned>(Ref.params().size())))
+    testutils::expectSameBehavior(Ref, Got, Args);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, StandardDestructionSemanticsTest,
+    ::testing::Combine(::testing::Values(testprogs::StraightLine,
+                                         testprogs::SumLoop,
+                                         testprogs::Diamond,
+                                         testprogs::VirtualSwap,
+                                         testprogs::SwapLoop,
+                                         testprogs::LostCopy,
+                                         testprogs::ArraySum,
+                                         testprogs::NestedLoops),
+                       ::testing::Bool()));
+
+TEST(StandardDestructionTest, LostCopyNeedsTheSplitEdge) {
+  // After splitting, the value that used to be lost flows through the new
+  // forwarding block; semantics checked here end to end.
+  auto MRef = parseSingleFunctionOrDie(testprogs::LostCopy);
+  auto MGot = parseSingleFunctionOrDie(testprogs::LostCopy);
+  Function &Got = *MGot->functions()[0];
+  unsigned BlocksBefore = Got.numBlocks();
+  roundTrip(Got, /*Fold=*/true);
+  EXPECT_GT(Got.numBlocks(), BlocksBefore) << "a critical edge was split";
+  testutils::expectSameBehavior(*MRef->functions()[0], Got, {4});
+}
+
+TEST(StandardDestructionTest, SwapLoopGetsCycleBreakingTemp) {
+  auto M = parseSingleFunctionOrDie(testprogs::SwapLoop);
+  Function &F = *M->functions()[0];
+  DestructionStats Stats = roundTrip(F, /*Fold=*/true);
+  EXPECT_GE(Stats.TempsUsed, 1u)
+      << "the swapped phis form a cycle on the back edge";
+}
+
+} // namespace

@@ -1,0 +1,61 @@
+//===- tests/support/MemoryTrackerTest.cpp --------------------------------===//
+
+#include "support/MemoryTracker.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+TEST(MemoryTrackerTest, PeakFollowsHighWaterMark) {
+  MemoryTracker T;
+  T.allocate(100);
+  T.allocate(50);
+  EXPECT_EQ(T.currentBytes(), 150u);
+  EXPECT_EQ(T.peakBytes(), 150u);
+  T.release(120);
+  EXPECT_EQ(T.currentBytes(), 30u);
+  EXPECT_EQ(T.peakBytes(), 150u);
+  T.allocate(40);
+  EXPECT_EQ(T.peakBytes(), 150u) << "peak only moves on new highs";
+  T.allocate(200);
+  EXPECT_EQ(T.peakBytes(), 270u);
+}
+
+TEST(MemoryTrackerTest, AdjustReplacesFootprint) {
+  MemoryTracker T;
+  T.allocate(64);
+  T.adjust(64, 256);
+  EXPECT_EQ(T.currentBytes(), 256u);
+  EXPECT_EQ(T.peakBytes(), 256u);
+}
+
+TEST(MemoryTrackerTest, ResetZeroesEverything) {
+  MemoryTracker T;
+  T.allocate(10);
+  T.reset();
+  EXPECT_EQ(T.currentBytes(), 0u);
+  EXPECT_EQ(T.peakBytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, ScopedBytesReleasesOnExit) {
+  MemoryTracker T;
+  {
+    ScopedBytes Guard(T, 500);
+    EXPECT_EQ(T.currentBytes(), 500u);
+  }
+  EXPECT_EQ(T.currentBytes(), 0u);
+  EXPECT_EQ(T.peakBytes(), 500u);
+}
+
+TEST(MemoryTrackerTest, NestedScopesStack) {
+  MemoryTracker T;
+  {
+    ScopedBytes Outer(T, 100);
+    {
+      ScopedBytes Inner(T, 30);
+      EXPECT_EQ(T.currentBytes(), 130u);
+    }
+    EXPECT_EQ(T.currentBytes(), 100u);
+  }
+  EXPECT_EQ(T.peakBytes(), 130u);
+}

@@ -1,0 +1,67 @@
+//===- tests/support/SplitMix64Test.cpp -----------------------------------===//
+
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+TEST(SplitMix64Test, SameSeedSameSequence) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 A(1), B(2);
+  bool Differ = false;
+  for (int I = 0; I != 10 && !Differ; ++I)
+    Differ = A.next() != B.next();
+  EXPECT_TRUE(Differ);
+}
+
+TEST(SplitMix64Test, NextBelowStaysInBounds) {
+  SplitMix64 Rng(99);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(SplitMix64Test, NextBelowOneIsAlwaysZero) {
+  SplitMix64 Rng(5);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Rng.nextBelow(1), 0u);
+}
+
+TEST(SplitMix64Test, NextInRangeInclusiveBounds) {
+  SplitMix64 Rng(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = Rng.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(SplitMix64Test, ChancePercentExtremes) {
+  SplitMix64 Rng(11);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(Rng.chancePercent(0));
+    EXPECT_TRUE(Rng.chancePercent(100));
+  }
+}
+
+TEST(SplitMix64Test, NextBelowRoughlyUniform) {
+  SplitMix64 Rng(13);
+  unsigned Buckets[4] = {0, 0, 0, 0};
+  constexpr unsigned N = 40000;
+  for (unsigned I = 0; I != N; ++I)
+    ++Buckets[Rng.nextBelow(4)];
+  for (unsigned B = 0; B != 4; ++B) {
+    EXPECT_GT(Buckets[B], N / 4 - N / 40);
+    EXPECT_LT(Buckets[B], N / 4 + N / 40);
+  }
+}

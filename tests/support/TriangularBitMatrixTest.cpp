@@ -1,0 +1,91 @@
+//===- tests/support/TriangularBitMatrixTest.cpp --------------------------===//
+
+#include "support/TriangularBitMatrix.h"
+
+#include "support/SplitMix64.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace fcc;
+
+TEST(TriangularBitMatrixTest, StartsEmpty) {
+  TriangularBitMatrix M(16);
+  for (unsigned A = 0; A != 16; ++A)
+    for (unsigned B = 0; B != 16; ++B)
+      EXPECT_FALSE(M.test(A, B));
+  EXPECT_EQ(M.count(), 0u);
+}
+
+TEST(TriangularBitMatrixTest, SetIsSymmetric) {
+  TriangularBitMatrix M(8);
+  M.set(2, 5);
+  EXPECT_TRUE(M.test(2, 5));
+  EXPECT_TRUE(M.test(5, 2));
+  EXPECT_FALSE(M.test(2, 4));
+  EXPECT_EQ(M.count(), 1u);
+}
+
+TEST(TriangularBitMatrixTest, DiagonalIsIgnored) {
+  TriangularBitMatrix M(4);
+  M.set(3, 3);
+  EXPECT_FALSE(M.test(3, 3));
+  EXPECT_EQ(M.count(), 0u);
+}
+
+TEST(TriangularBitMatrixTest, SetTwiceCountsOnce) {
+  TriangularBitMatrix M(4);
+  M.set(0, 1);
+  M.set(1, 0);
+  EXPECT_EQ(M.count(), 1u);
+}
+
+TEST(TriangularBitMatrixTest, ResetClearsAndResizes) {
+  TriangularBitMatrix M(4);
+  M.set(0, 1);
+  M.reset(64);
+  EXPECT_EQ(M.size(), 64u);
+  EXPECT_FALSE(M.test(0, 1));
+  EXPECT_EQ(M.count(), 0u);
+}
+
+TEST(TriangularBitMatrixTest, AdjacentPairsDoNotAlias) {
+  TriangularBitMatrix M(100);
+  M.set(50, 49);
+  EXPECT_FALSE(M.test(50, 48));
+  EXPECT_FALSE(M.test(51, 49));
+  EXPECT_FALSE(M.test(49, 48));
+}
+
+TEST(TriangularBitMatrixTest, BytesScaleQuadratically) {
+  TriangularBitMatrix Small(100), Large(1000);
+  // 1000 elements need ~499500 bits; 100 need ~4950 bits: about 100x.
+  EXPECT_GT(Large.bytes(), 50 * Small.bytes());
+}
+
+TEST(TriangularBitMatrixTest, ZeroAndOneElementUniverses) {
+  TriangularBitMatrix M0(0);
+  EXPECT_EQ(M0.count(), 0u);
+  TriangularBitMatrix M1(1);
+  EXPECT_FALSE(M1.test(0, 0));
+  EXPECT_EQ(M1.count(), 0u);
+}
+
+TEST(TriangularBitMatrixTest, RandomizedAgainstSetOfPairs) {
+  constexpr unsigned N = 70;
+  TriangularBitMatrix M(N);
+  std::set<std::pair<unsigned, unsigned>> Ref;
+  SplitMix64 Rng(7);
+  for (unsigned Step = 0; Step != 400; ++Step) {
+    unsigned A = static_cast<unsigned>(Rng.nextBelow(N));
+    unsigned B = static_cast<unsigned>(Rng.nextBelow(N));
+    if (A == B)
+      continue;
+    M.set(A, B);
+    Ref.insert({std::min(A, B), std::max(A, B)});
+  }
+  EXPECT_EQ(M.count(), Ref.size());
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = A + 1; B != N; ++B)
+      EXPECT_EQ(M.test(A, B), Ref.count({A, B}) > 0)
+          << "pair (" << A << ", " << B << ")";
+}

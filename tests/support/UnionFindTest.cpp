@@ -1,0 +1,113 @@
+//===- tests/support/UnionFindTest.cpp ------------------------------------===//
+
+#include "support/UnionFind.h"
+
+#include "support/SplitMix64.h"
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace fcc;
+
+TEST(UnionFindTest, SingletonsAreTheirOwnRoots) {
+  UnionFind UF(5);
+  for (unsigned I = 0; I != 5; ++I) {
+    EXPECT_EQ(UF.find(I), I);
+    EXPECT_EQ(UF.setSize(I), 1u);
+  }
+}
+
+TEST(UnionFindTest, UniteMergesAndFindAgrees) {
+  UnionFind UF(4);
+  unsigned Root = UF.unite(0, 1);
+  EXPECT_TRUE(Root == 0 || Root == 1);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(0, 2));
+  EXPECT_EQ(UF.setSize(0), 2u);
+  EXPECT_EQ(UF.setSize(1), 2u);
+}
+
+TEST(UnionFindTest, UniteIsIdempotent) {
+  UnionFind UF(3);
+  unsigned R1 = UF.unite(0, 1);
+  unsigned R2 = UF.unite(1, 0);
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(UF.setSize(0), 2u);
+}
+
+TEST(UnionFindTest, GrowPreservesExistingSets) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(5);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_EQ(UF.find(4), 4u);
+  EXPECT_EQ(UF.size(), 5u);
+}
+
+TEST(UnionFindTest, TransitiveUnions) {
+  UnionFind UF(6);
+  UF.unite(0, 1);
+  UF.unite(2, 3);
+  UF.unite(1, 2);
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_EQ(UF.setSize(3), 4u);
+  EXPECT_FALSE(UF.connected(0, 4));
+}
+
+TEST(UnionFindTest, FindConstMatchesFind) {
+  UnionFind UF(8);
+  UF.unite(0, 1);
+  UF.unite(1, 2);
+  UF.unite(5, 6);
+  const UnionFind &CUF = UF;
+  for (unsigned I = 0; I != 8; ++I)
+    EXPECT_EQ(CUF.findConst(I), UF.find(I));
+}
+
+TEST(UnionFindTest, EvictDetachesNonRootMember) {
+  UnionFind UF(4);
+  UF.unite(0, 1);
+  UF.unite(0, 2);
+  UF.compressAll();
+  unsigned Root = UF.find(0);
+  unsigned Victim = Root == 2 ? 1 : 2;
+  UF.evict(Victim);
+  EXPECT_EQ(UF.find(Victim), Victim);
+  EXPECT_EQ(UF.setSize(Victim), 1u);
+  EXPECT_EQ(UF.setSize(Root), 2u);
+}
+
+TEST(UnionFindTest, EvictOnSingletonIsANoop) {
+  UnionFind UF(2);
+  UF.evict(1);
+  EXPECT_EQ(UF.find(1), 1u);
+  EXPECT_EQ(UF.setSize(1), 1u);
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaiveReference) {
+  constexpr unsigned N = 300;
+  UnionFind UF(N);
+  std::vector<unsigned> Ref(N); // Naive labels.
+  for (unsigned I = 0; I != N; ++I)
+    Ref[I] = I;
+
+  SplitMix64 Rng(42);
+  for (unsigned Step = 0; Step != 500; ++Step) {
+    unsigned A = static_cast<unsigned>(Rng.nextBelow(N));
+    unsigned B = static_cast<unsigned>(Rng.nextBelow(N));
+    UF.unite(A, B);
+    unsigned From = Ref[B], To = Ref[A];
+    for (unsigned I = 0; I != N; ++I)
+      if (Ref[I] == From)
+        Ref[I] = To;
+  }
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = I + 1; J < N; J += 7)
+      EXPECT_EQ(UF.connected(I, J), Ref[I] == Ref[J])
+          << "pair (" << I << ", " << J << ")";
+}
+
+TEST(UnionFindTest, BytesReflectsUniverseSize) {
+  UnionFind Small(10), Large(10000);
+  EXPECT_GT(Large.bytes(), Small.bytes());
+  EXPECT_GE(Small.bytes(), 10 * 2 * sizeof(unsigned));
+}

@@ -1,0 +1,110 @@
+//===- tests/workload/KernelSuiteTest.cpp ---------------------------------===//
+
+#include "workload/KernelSuite.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace fcc;
+
+namespace {
+
+TEST(KernelSuiteTest, AllKernelsMaterializeVerifyAndAreStrict) {
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M = Spec.materialize();
+    ASSERT_EQ(M->size(), 1u) << Spec.Name;
+    Function &F = *M->functions()[0];
+    EXPECT_EQ(F.name(), Spec.Name);
+    std::string Error;
+    EXPECT_TRUE(verifyFunction(F, Error)) << Spec.Name << ": " << Error;
+    EXPECT_TRUE(isStrict(F)) << Spec.Name;
+  }
+}
+
+TEST(KernelSuiteTest, AllKernelsTerminateOnTheirArgs) {
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M = Spec.materialize();
+    ExecutionResult R = Interpreter().run(*M->functions()[0], Spec.Args);
+    EXPECT_TRUE(R.Completed) << Spec.Name;
+  }
+}
+
+TEST(KernelSuiteTest, KernelsAreDeterministic) {
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M1 = Spec.materialize();
+    auto M2 = Spec.materialize();
+    ExecutionResult R1 = Interpreter().run(*M1->functions()[0], Spec.Args);
+    ExecutionResult R2 = Interpreter().run(*M2->functions()[0], Spec.Args);
+    EXPECT_EQ(R1.ReturnValue, R2.ReturnValue) << Spec.Name;
+  }
+}
+
+TEST(KernelSuiteTest, CopyHeavyKernelsContainCopies) {
+  std::set<std::string> CopyHeavy = {"parmvrx", "parmovx", "parmvex",
+                                     "twldrv", "smoothx", "rhs"};
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    if (!CopyHeavy.count(Spec.Name))
+      continue;
+    auto M = Spec.materialize();
+    EXPECT_GT(M->functions()[0]->staticCopyCount(), 1u) << Spec.Name;
+  }
+}
+
+TEST(KernelSuiteTest, SomeKernelsExecuteManyCopies) {
+  // Table 4 needs routines with meaningful dynamic copy counts.
+  uint64_t MaxCopies = 0;
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M = Spec.materialize();
+    ExecutionResult R = Interpreter().run(*M->functions()[0], Spec.Args);
+    MaxCopies = std::max(MaxCopies, R.CopiesExecuted);
+  }
+  EXPECT_GT(MaxCopies, 20u);
+}
+
+TEST(PaperSuiteTest, Has169UniqueRoutines) {
+  auto Suite = paperSuite();
+  EXPECT_EQ(Suite.size(), 169u);
+  std::set<std::string> Names;
+  for (const RoutineSpec &Spec : Suite)
+    Names.insert(Spec.Name);
+  EXPECT_EQ(Names.size(), Suite.size());
+}
+
+TEST(PaperSuiteTest, GeneratedEntriesMaterializeDeterministically) {
+  auto Suite = paperSuite(30);
+  for (const RoutineSpec &Spec : Suite) {
+    if (!Spec.Source.empty())
+      continue;
+    auto M1 = Spec.materialize();
+    auto M2 = Spec.materialize();
+    EXPECT_EQ(printModule(*M1), printModule(*M2)) << Spec.Name;
+  }
+}
+
+TEST(PaperSuiteTest, ArgsMatchParamCounts) {
+  for (const RoutineSpec &Spec : paperSuite(40)) {
+    auto M = Spec.materialize();
+    EXPECT_GE(Spec.Args.size(), M->functions()[0]->params().size())
+        << Spec.Name;
+  }
+}
+
+TEST(PaperSuiteTest, SuiteSpansASizeRange) {
+  auto Suite = paperSuite();
+  unsigned MinInsts = ~0u, MaxInsts = 0;
+  for (const RoutineSpec &Spec : Suite) {
+    auto M = Spec.materialize();
+    unsigned N = M->functions()[0]->instructionCount();
+    MinInsts = std::min(MinInsts, N);
+    MaxInsts = std::max(MaxInsts, N);
+  }
+  EXPECT_LT(MinInsts, 40u);
+  EXPECT_GT(MaxInsts, 200u) << "the suite should include big routines";
+}
+
+} // namespace

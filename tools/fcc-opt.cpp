@@ -1,0 +1,222 @@
+//===- tools/fcc-opt.cpp - Command-line driver ----------------------------===//
+//
+// Standalone driver: read a textual-IR file, run one of the paper's
+// SSA-round-trip pipelines over every function, optionally clean up and
+// execute, and print the result.
+//
+//   fcc-opt FILE.ir [options]
+//
+//   --pipeline=new|standard|briggs|briggs*   conversion to run (default new)
+//   --ssa-only        stop in SSA form (pruned, copies folded) and print it
+//   --no-fold         build SSA without copy folding (with --ssa-only)
+//   --copyprop        run local copy propagation after the pipeline
+//   --dce             run dead-code elimination after the pipeline
+//   --strict          insert entry initializations for non-strict inputs
+//   --trace           narrate the coalescer's decisions (new pipeline)
+//   --stats           print per-function statistics
+//   --run ARGS...     execute each function on the integer ARGS
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "coalesce/FastCoalescer.h"
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "opt/CopyPropagation.h"
+#include "opt/DeadCodeElim.h"
+#include "pipeline/Pipeline.h"
+#include "ssa/SSABuilder.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+struct DriverOptions {
+  std::string InputPath;
+  std::optional<PipelineKind> Pipeline = PipelineKind::New;
+  bool SsaOnly = false;
+  bool NoFold = false;
+  bool CopyProp = false;
+  bool Dce = false;
+  bool Strict = false;
+  bool Trace = false;
+  bool Stats = false;
+  bool Execute = false;
+  std::vector<int64_t> RunArgs;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE.ir [--pipeline=new|standard|briggs|briggs*]\n"
+               "       [--ssa-only] [--no-fold] [--copyprop] [--dce] "
+               "[--strict] [--trace] [--stats]\n"
+               "       [--run ARGS...]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--ssa-only")
+      Opts.SsaOnly = true;
+    else if (Arg == "--no-fold")
+      Opts.NoFold = true;
+    else if (Arg == "--copyprop")
+      Opts.CopyProp = true;
+    else if (Arg == "--dce")
+      Opts.Dce = true;
+    else if (Arg == "--strict")
+      Opts.Strict = true;
+    else if (Arg == "--trace")
+      Opts.Trace = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else if (Arg.rfind("--pipeline=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--pipeline="));
+      if (Name == "new")
+        Opts.Pipeline = PipelineKind::New;
+      else if (Name == "standard")
+        Opts.Pipeline = PipelineKind::Standard;
+      else if (Name == "briggs")
+        Opts.Pipeline = PipelineKind::Briggs;
+      else if (Name == "briggs*")
+        Opts.Pipeline = PipelineKind::BriggsImproved;
+      else {
+        std::fprintf(stderr, "unknown pipeline '%s'\n", Name.c_str());
+        return false;
+      }
+    } else if (Arg == "--run") {
+      Opts.Execute = true;
+      for (++I; I < Argc; ++I)
+        Opts.RunArgs.push_back(std::strtoll(Argv[I], nullptr, 10));
+    } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return !Opts.InputPath.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Opts.InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  std::string Error;
+  std::unique_ptr<Module> M = parseModule(Buffer.str(), Error);
+  if (!M) {
+    std::fprintf(stderr, "%s: %s\n", Opts.InputPath.c_str(), Error.c_str());
+    return 1;
+  }
+
+  for (const auto &FPtr : M->functions()) {
+    Function &F = *FPtr;
+    if (Opts.Strict)
+      enforceStrictness(F);
+    if (!verifyFunction(F, Error)) {
+      std::fprintf(stderr, "@%s does not verify: %s\n", F.name().c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    if (!isStrict(F)) {
+      std::fprintf(stderr,
+                   "@%s is not strict (a use may precede every definition); "
+                   "re-run with --strict\n",
+                   F.name().c_str());
+      return 1;
+    }
+
+    if (Opts.SsaOnly) {
+      splitCriticalEdges(F);
+      DominatorTree DT(F);
+      SSABuildOptions Build;
+      Build.FoldCopies = !Opts.NoFold;
+      SSABuildStats Stats = buildSSA(F, DT, Build);
+      if (Opts.Stats)
+        std::printf("; @%s: %u phis, %u copies folded\n", F.name().c_str(),
+                    Stats.PhisInserted, Stats.CopiesFolded);
+    } else if (Opts.Pipeline == PipelineKind::New && Opts.Trace) {
+      // Expanded so the coalescer can narrate.
+      splitCriticalEdges(F);
+      DominatorTree DT(F);
+      SSABuildOptions Build;
+      Build.FoldCopies = true;
+      buildSSA(F, DT, Build);
+      Liveness LV(F);
+      FastCoalescerOptions Coalesce;
+      Coalesce.Trace = stderr;
+      coalesceSSA(F, DT, LV, Coalesce);
+    } else {
+      PipelineResult Result = runPipeline(F, *Opts.Pipeline);
+      if (Opts.Stats)
+        std::printf("; @%s (%s): %u us, %u phis, %u copies left, peak %zu "
+                    "bytes\n",
+                    F.name().c_str(), pipelineName(*Opts.Pipeline),
+                    static_cast<unsigned>(Result.TimeMicros),
+                    Result.PhisInserted, Result.StaticCopies,
+                    Result.PeakBytes);
+    }
+
+    if (Opts.CopyProp) {
+      unsigned Retargeted = propagateCopiesLocally(F);
+      if (Opts.Stats)
+        std::printf("; @%s: copy propagation retargeted %u uses\n",
+                    F.name().c_str(), Retargeted);
+    }
+    if (Opts.Dce) {
+      unsigned Removed = eliminateDeadCode(F);
+      if (Opts.Stats)
+        std::printf("; @%s: DCE removed %u instructions\n", F.name().c_str(),
+                    Removed);
+    }
+
+    if (!verifyFunction(F, Error)) {
+      std::fprintf(stderr, "internal error: output does not verify: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    std::fputs(printFunction(F).c_str(), stdout);
+    std::fputc('\n', stdout);
+
+    if (Opts.Execute) {
+      ExecutionResult R = Interpreter().run(F, Opts.RunArgs);
+      if (!R.Completed) {
+        std::printf("; @%s: hit the step limit\n", F.name().c_str());
+      } else {
+        std::printf("; @%s(...) = %lld  (%llu instructions, %llu copies)\n",
+                    F.name().c_str(),
+                    static_cast<long long>(R.ReturnValue),
+                    static_cast<unsigned long long>(R.InstructionsExecuted),
+                    static_cast<unsigned long long>(R.CopiesExecuted));
+      }
+    }
+  }
+  return 0;
+}
