@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_complexity.dir/scaling_complexity.cpp.o"
+  "CMakeFiles/scaling_complexity.dir/scaling_complexity.cpp.o.d"
+  "scaling_complexity"
+  "scaling_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

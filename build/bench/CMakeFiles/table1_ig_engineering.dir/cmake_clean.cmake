@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ig_engineering.dir/table1_ig_engineering.cpp.o"
+  "CMakeFiles/table1_ig_engineering.dir/table1_ig_engineering.cpp.o.d"
+  "table1_ig_engineering"
+  "table1_ig_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ig_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

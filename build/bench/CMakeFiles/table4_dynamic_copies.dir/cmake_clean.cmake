@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_dynamic_copies.dir/table4_dynamic_copies.cpp.o"
+  "CMakeFiles/table4_dynamic_copies.dir/table4_dynamic_copies.cpp.o.d"
+  "table4_dynamic_copies"
+  "table4_dynamic_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dynamic_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_static_copies.dir/table5_static_copies.cpp.o"
+  "CMakeFiles/table5_static_copies.dir/table5_static_copies.cpp.o.d"
+  "table5_static_copies"
+  "table5_static_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_static_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

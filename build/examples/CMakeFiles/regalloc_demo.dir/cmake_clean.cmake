@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regalloc_demo.dir/regalloc_demo.cpp.o"
+  "CMakeFiles/regalloc_demo.dir/regalloc_demo.cpp.o.d"
+  "regalloc_demo"
+  "regalloc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regalloc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_swap.dir/virtual_swap.cpp.o"
+  "CMakeFiles/virtual_swap.dir/virtual_swap.cpp.o.d"
+  "virtual_swap"
+  "virtual_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFGUtils.cpp" "src/CMakeFiles/fcc.dir/analysis/CFGUtils.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/analysis/CFGUtils.cpp.o.d"
+  "/root/repo/src/analysis/DominanceFrontier.cpp" "src/CMakeFiles/fcc.dir/analysis/DominanceFrontier.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/analysis/DominanceFrontier.cpp.o.d"
+  "/root/repo/src/analysis/DominatorTree.cpp" "src/CMakeFiles/fcc.dir/analysis/DominatorTree.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/analysis/DominatorTree.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/fcc.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/fcc.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/baseline/ChaitinBriggsCoalescer.cpp" "src/CMakeFiles/fcc.dir/baseline/ChaitinBriggsCoalescer.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/baseline/ChaitinBriggsCoalescer.cpp.o.d"
+  "/root/repo/src/baseline/InterferenceGraph.cpp" "src/CMakeFiles/fcc.dir/baseline/InterferenceGraph.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/baseline/InterferenceGraph.cpp.o.d"
+  "/root/repo/src/coalesce/CoalescingChecker.cpp" "src/CMakeFiles/fcc.dir/coalesce/CoalescingChecker.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/coalesce/CoalescingChecker.cpp.o.d"
+  "/root/repo/src/coalesce/DominanceForest.cpp" "src/CMakeFiles/fcc.dir/coalesce/DominanceForest.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/coalesce/DominanceForest.cpp.o.d"
+  "/root/repo/src/coalesce/FastCoalescer.cpp" "src/CMakeFiles/fcc.dir/coalesce/FastCoalescer.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/coalesce/FastCoalescer.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/fcc.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/fcc.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/fcc.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/CMakeFiles/fcc.dir/ir/IRParser.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/fcc.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/fcc.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/fcc.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Variable.cpp" "src/CMakeFiles/fcc.dir/ir/Variable.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/Variable.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/fcc.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/opt/CopyPropagation.cpp" "src/CMakeFiles/fcc.dir/opt/CopyPropagation.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/opt/CopyPropagation.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/CMakeFiles/fcc.dir/opt/DeadCodeElim.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/opt/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/pipeline/Pipeline.cpp" "src/CMakeFiles/fcc.dir/pipeline/Pipeline.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/pipeline/Pipeline.cpp.o.d"
+  "/root/repo/src/regalloc/GraphColoringAllocator.cpp" "src/CMakeFiles/fcc.dir/regalloc/GraphColoringAllocator.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/regalloc/GraphColoringAllocator.cpp.o.d"
+  "/root/repo/src/ssa/ParallelCopy.cpp" "src/CMakeFiles/fcc.dir/ssa/ParallelCopy.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ssa/ParallelCopy.cpp.o.d"
+  "/root/repo/src/ssa/SSABuilder.cpp" "src/CMakeFiles/fcc.dir/ssa/SSABuilder.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ssa/SSABuilder.cpp.o.d"
+  "/root/repo/src/ssa/StandardDestruction.cpp" "src/CMakeFiles/fcc.dir/ssa/StandardDestruction.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ssa/StandardDestruction.cpp.o.d"
+  "/root/repo/src/support/MemoryTracker.cpp" "src/CMakeFiles/fcc.dir/support/MemoryTracker.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/MemoryTracker.cpp.o.d"
+  "/root/repo/src/support/SplitMix64.cpp" "src/CMakeFiles/fcc.dir/support/SplitMix64.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/SplitMix64.cpp.o.d"
+  "/root/repo/src/support/TriangularBitMatrix.cpp" "src/CMakeFiles/fcc.dir/support/TriangularBitMatrix.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/TriangularBitMatrix.cpp.o.d"
+  "/root/repo/src/support/UnionFind.cpp" "src/CMakeFiles/fcc.dir/support/UnionFind.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/UnionFind.cpp.o.d"
+  "/root/repo/src/workload/KernelSuite.cpp" "src/CMakeFiles/fcc.dir/workload/KernelSuite.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/workload/KernelSuite.cpp.o.d"
+  "/root/repo/src/workload/ProgramGenerator.cpp" "src/CMakeFiles/fcc.dir/workload/ProgramGenerator.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/workload/ProgramGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

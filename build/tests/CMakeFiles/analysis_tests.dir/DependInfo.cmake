@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/CFGUtilsTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/CFGUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/CFGUtilsTest.cpp.o.d"
+  "/root/repo/tests/analysis/DominanceFrontierTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DominanceFrontierTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DominanceFrontierTest.cpp.o.d"
+  "/root/repo/tests/analysis/DominatorTreeTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DominatorTreeTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DominatorTreeTest.cpp.o.d"
+  "/root/repo/tests/analysis/LivenessTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/LivenessTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/LivenessTest.cpp.o.d"
+  "/root/repo/tests/analysis/LoopInfoTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/CFGUtilsTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/CFGUtilsTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DominanceFrontierTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DominanceFrontierTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DominatorTreeTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DominatorTreeTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/LivenessTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/LivenessTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coalesce/CoalescerOptionsTest.cpp" "tests/CMakeFiles/coalesce_tests.dir/coalesce/CoalescerOptionsTest.cpp.o" "gcc" "tests/CMakeFiles/coalesce_tests.dir/coalesce/CoalescerOptionsTest.cpp.o.d"
+  "/root/repo/tests/coalesce/CoalescingCheckerTest.cpp" "tests/CMakeFiles/coalesce_tests.dir/coalesce/CoalescingCheckerTest.cpp.o" "gcc" "tests/CMakeFiles/coalesce_tests.dir/coalesce/CoalescingCheckerTest.cpp.o.d"
+  "/root/repo/tests/coalesce/DominanceForestTest.cpp" "tests/CMakeFiles/coalesce_tests.dir/coalesce/DominanceForestTest.cpp.o" "gcc" "tests/CMakeFiles/coalesce_tests.dir/coalesce/DominanceForestTest.cpp.o.d"
+  "/root/repo/tests/coalesce/FastCoalescerTest.cpp" "tests/CMakeFiles/coalesce_tests.dir/coalesce/FastCoalescerTest.cpp.o" "gcc" "tests/CMakeFiles/coalesce_tests.dir/coalesce/FastCoalescerTest.cpp.o.d"
+  "/root/repo/tests/coalesce/KernelCoalescingTest.cpp" "tests/CMakeFiles/coalesce_tests.dir/coalesce/KernelCoalescingTest.cpp.o" "gcc" "tests/CMakeFiles/coalesce_tests.dir/coalesce/KernelCoalescingTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_tests.dir/coalesce/CoalescerOptionsTest.cpp.o"
+  "CMakeFiles/coalesce_tests.dir/coalesce/CoalescerOptionsTest.cpp.o.d"
+  "CMakeFiles/coalesce_tests.dir/coalesce/CoalescingCheckerTest.cpp.o"
+  "CMakeFiles/coalesce_tests.dir/coalesce/CoalescingCheckerTest.cpp.o.d"
+  "CMakeFiles/coalesce_tests.dir/coalesce/DominanceForestTest.cpp.o"
+  "CMakeFiles/coalesce_tests.dir/coalesce/DominanceForestTest.cpp.o.d"
+  "CMakeFiles/coalesce_tests.dir/coalesce/FastCoalescerTest.cpp.o"
+  "CMakeFiles/coalesce_tests.dir/coalesce/FastCoalescerTest.cpp.o.d"
+  "CMakeFiles/coalesce_tests.dir/coalesce/KernelCoalescingTest.cpp.o"
+  "CMakeFiles/coalesce_tests.dir/coalesce/KernelCoalescingTest.cpp.o.d"
+  "coalesce_tests"
+  "coalesce_tests.pdb"
+  "coalesce_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

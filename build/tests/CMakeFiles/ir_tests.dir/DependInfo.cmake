@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/FunctionTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/FunctionTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/FunctionTest.cpp.o.d"
+  "/root/repo/tests/ir/InstructionTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/InstructionTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/InstructionTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserPrinterTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ParserPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ParserPrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserRobustnessTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ParserRobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ParserRobustnessTest.cpp.o.d"
+  "/root/repo/tests/ir/RoundTripPropertyTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/RoundTripPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/RoundTripPropertyTest.cpp.o.d"
+  "/root/repo/tests/ir/StrictnessTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/StrictnessTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/StrictnessTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/ir/FunctionTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/FunctionTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/InstructionTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/InstructionTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/ParserPrinterTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/ParserPrinterTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/ParserRobustnessTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/ParserRobustnessTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/RoundTripPropertyTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/RoundTripPropertyTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/StrictnessTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/StrictnessTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+  "ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/CopyPropagationTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/CopyPropagationTest.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/DeadCodeElimTest.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/DeadCodeElimTest.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tests.dir/pipeline/CornerCaseTest.cpp.o"
+  "CMakeFiles/pipeline_tests.dir/pipeline/CornerCaseTest.cpp.o.d"
+  "CMakeFiles/pipeline_tests.dir/pipeline/PipelineTest.cpp.o"
+  "CMakeFiles/pipeline_tests.dir/pipeline/PipelineTest.cpp.o.d"
+  "pipeline_tests"
+  "pipeline_tests.pdb"
+  "pipeline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssa_tests.dir/ssa/ParallelCopyTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/ssa/ParallelCopyTest.cpp.o.d"
+  "CMakeFiles/ssa_tests.dir/ssa/SSABuilderTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/ssa/SSABuilderTest.cpp.o.d"
+  "CMakeFiles/ssa_tests.dir/ssa/StandardDestructionTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/ssa/StandardDestructionTest.cpp.o.d"
+  "ssa_tests"
+  "ssa_tests.pdb"
+  "ssa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

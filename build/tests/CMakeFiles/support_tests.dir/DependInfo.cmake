@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/IndexSetTest.cpp" "tests/CMakeFiles/support_tests.dir/support/IndexSetTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/IndexSetTest.cpp.o.d"
+  "/root/repo/tests/support/MemoryTrackerTest.cpp" "tests/CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o.d"
+  "/root/repo/tests/support/SplitMix64Test.cpp" "tests/CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o.d"
+  "/root/repo/tests/support/TriangularBitMatrixTest.cpp" "tests/CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o.d"
+  "/root/repo/tests/support/UnionFindTest.cpp" "tests/CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

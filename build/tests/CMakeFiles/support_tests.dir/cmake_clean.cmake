@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/IndexSetTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/IndexSetTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/ssa_tests[1]_include.cmake")
+include("/root/repo/build/tests/coalesce_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_tests[1]_include.cmake")
+include("/root/repo/build/tests/opt_tests[1]_include.cmake")
+include("/root/repo/build/tests/regalloc_tests[1]_include.cmake")
+include("/root/repo/build/tests/interp_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")

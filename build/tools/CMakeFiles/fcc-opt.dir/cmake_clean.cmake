@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcc-opt.dir/fcc-opt.cpp.o"
+  "CMakeFiles/fcc-opt.dir/fcc-opt.cpp.o.d"
+  "fcc-opt"
+  "fcc-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcc-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fcc_opt_smoke_sum_to_n "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/sum_to_n.ir" "--pipeline=new" "--dce" "--stats" "--run" "5" "3")
+set_tests_properties(fcc_opt_smoke_sum_to_n PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_opt_smoke_virtswap "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/virtswap.ir" "--pipeline=new" "--dce" "--stats" "--run" "5" "3")
+set_tests_properties(fcc_opt_smoke_virtswap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_opt_smoke_matrix3x3 "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/matrix3x3.ir" "--pipeline=new" "--dce" "--stats" "--run" "5" "3")
+set_tests_properties(fcc_opt_smoke_matrix3x3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_opt_smoke_briggs "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/sum_to_n.ir" "--pipeline=briggs*" "--stats" "--run" "7")
+set_tests_properties(fcc_opt_smoke_briggs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_opt_smoke_ssa_only "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/virtswap.ir" "--ssa-only" "--stats")
+set_tests_properties(fcc_opt_smoke_ssa_only PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
