@@ -1,0 +1,117 @@
+//===- bench/parallel_scaling.cpp -----------------------------------------===//
+//
+// Throughput scaling of the compilation service: compile a generated corpus
+// at 1/2/4/8 worker threads (or a custom --jobs list) and report wall time,
+// units/second and speedup over the single-threaded run. Because the
+// paper's coalescer needs no cross-function state, function-level sharding
+// should scale near-linearly until the machine runs out of cores — on an
+// N-core host expect ~min(jobs, N)x. The harness also cross-checks
+// determinism: the timing-free JSON report must be byte-identical at every
+// job count.
+//
+//   parallel_scaling [--units=N] [--seed=S] [--jobs=A,B,...]
+//                    [--pipeline=new|standard|briggs|briggs*]
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompilationService.h"
+#include "service/WorkUnit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace fcc;
+
+int main(int Argc, char **Argv) {
+  unsigned UnitCount = 256;
+  uint64_t Seed = 1;
+  std::vector<unsigned> JobCounts = {1, 2, 4, 8};
+  PipelineKind Kind = PipelineKind::New;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--units=", 0) == 0) {
+      UnitCount = static_cast<unsigned>(std::strtoul(Arg.c_str() + 8,
+                                                     nullptr, 10));
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      JobCounts.clear();
+      const char *P = Arg.c_str() + 7;
+      while (*P) {
+        JobCounts.push_back(static_cast<unsigned>(std::strtoul(P, nullptr,
+                                                               10)));
+        P = std::strchr(P, ',');
+        if (!P)
+          break;
+        ++P;
+      }
+    } else if (Arg.rfind("--pipeline=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--pipeline="));
+      if (Name == "standard")
+        Kind = PipelineKind::Standard;
+      else if (Name == "briggs")
+        Kind = PipelineKind::Briggs;
+      else if (Name == "briggs*")
+        Kind = PipelineKind::BriggsImproved;
+      else
+        Kind = PipelineKind::New;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<WorkUnit> Corpus = generatedCorpus(UnitCount, Seed);
+  std::printf("Parallel scaling: %u generated units, %s pipeline, "
+              "%u hardware threads\n\n",
+              UnitCount, pipelineName(Kind),
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %12s %10s\n", "jobs", "wall (ms)", "units/s",
+              "speedup");
+
+  double BaseMillis = 0.0;
+  std::string BaseJson;
+  bool Deterministic = true;
+  unsigned Failures = 0;
+
+  for (unsigned Jobs : JobCounts) {
+    ServiceOptions Opts;
+    Opts.Pipeline = Kind;
+    Opts.Jobs = Jobs;
+    CompilationService Service(Opts);
+
+    // Warm-up run, then keep the fastest of three for stable ratios.
+    BatchReport Best = Service.run(Corpus);
+    for (int Rep = 0; Rep != 2; ++Rep) {
+      BatchReport Next = Service.run(Corpus);
+      if (Next.WallMicros < Best.WallMicros)
+        Best = std::move(Next);
+    }
+
+    double Millis = static_cast<double>(Best.WallMicros) / 1000.0;
+    double PerSec = Millis == 0.0
+                        ? 0.0
+                        : static_cast<double>(UnitCount) * 1000.0 / Millis;
+    if (BaseMillis == 0.0)
+      BaseMillis = Millis;
+    std::printf("%8u %12.2f %12.1f %9.2fx\n", Jobs, Millis, PerSec,
+                Millis == 0.0 ? 0.0 : BaseMillis / Millis);
+
+    std::string Json = Best.toJson(/*IncludeTimings=*/false);
+    if (BaseJson.empty())
+      BaseJson = std::move(Json);
+    else if (Json != BaseJson)
+      Deterministic = false;
+    Failures += Best.totals().Failed;
+  }
+
+  std::printf("\nreport deterministic across job counts: %s\n",
+              Deterministic ? "yes" : "NO — BUG");
+  std::printf("unit failures: %u\n", Failures);
+  return (Deterministic && Failures == 0) ? 0 : 1;
+}

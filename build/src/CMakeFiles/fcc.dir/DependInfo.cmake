@@ -31,11 +31,15 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/opt/DeadCodeElim.cpp" "src/CMakeFiles/fcc.dir/opt/DeadCodeElim.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/opt/DeadCodeElim.cpp.o.d"
   "/root/repo/src/pipeline/Pipeline.cpp" "src/CMakeFiles/fcc.dir/pipeline/Pipeline.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/pipeline/Pipeline.cpp.o.d"
   "/root/repo/src/regalloc/GraphColoringAllocator.cpp" "src/CMakeFiles/fcc.dir/regalloc/GraphColoringAllocator.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/regalloc/GraphColoringAllocator.cpp.o.d"
+  "/root/repo/src/service/BatchReport.cpp" "src/CMakeFiles/fcc.dir/service/BatchReport.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/service/BatchReport.cpp.o.d"
+  "/root/repo/src/service/CompilationService.cpp" "src/CMakeFiles/fcc.dir/service/CompilationService.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/service/CompilationService.cpp.o.d"
+  "/root/repo/src/service/WorkUnit.cpp" "src/CMakeFiles/fcc.dir/service/WorkUnit.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/service/WorkUnit.cpp.o.d"
   "/root/repo/src/ssa/ParallelCopy.cpp" "src/CMakeFiles/fcc.dir/ssa/ParallelCopy.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ssa/ParallelCopy.cpp.o.d"
   "/root/repo/src/ssa/SSABuilder.cpp" "src/CMakeFiles/fcc.dir/ssa/SSABuilder.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ssa/SSABuilder.cpp.o.d"
   "/root/repo/src/ssa/StandardDestruction.cpp" "src/CMakeFiles/fcc.dir/ssa/StandardDestruction.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/ssa/StandardDestruction.cpp.o.d"
   "/root/repo/src/support/MemoryTracker.cpp" "src/CMakeFiles/fcc.dir/support/MemoryTracker.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/MemoryTracker.cpp.o.d"
   "/root/repo/src/support/SplitMix64.cpp" "src/CMakeFiles/fcc.dir/support/SplitMix64.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/SplitMix64.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/CMakeFiles/fcc.dir/support/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/ThreadPool.cpp.o.d"
   "/root/repo/src/support/TriangularBitMatrix.cpp" "src/CMakeFiles/fcc.dir/support/TriangularBitMatrix.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/TriangularBitMatrix.cpp.o.d"
   "/root/repo/src/support/UnionFind.cpp" "src/CMakeFiles/fcc.dir/support/UnionFind.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/support/UnionFind.cpp.o.d"
   "/root/repo/src/workload/KernelSuite.cpp" "src/CMakeFiles/fcc.dir/workload/KernelSuite.cpp.o" "gcc" "src/CMakeFiles/fcc.dir/workload/KernelSuite.cpp.o.d"

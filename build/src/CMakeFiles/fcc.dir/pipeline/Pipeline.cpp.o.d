@@ -205,13 +205,22 @@ src/CMakeFiles/fcc.dir/pipeline/Pipeline.cpp.o: \
  /usr/include/assert.h /root/repo/src/analysis/Liveness.h \
  /root/repo/src/support/IndexSet.h \
  /root/repo/src/baseline/ChaitinBriggsCoalescer.h \
+ /root/repo/src/coalesce/CoalescingChecker.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/coalesce/FastCoalescer.h \
  /root/repo/src/support/UnionFind.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/ir/Function.h \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ir/Function.h \
  /root/repo/src/ir/BasicBlock.h /root/repo/src/ir/Instruction.h \
  /root/repo/src/ir/Opcode.h /root/repo/src/ir/Operand.h \
  /root/repo/src/ir/Variable.h /root/repo/src/ir/Module.h \
@@ -222,10 +231,6 @@ src/CMakeFiles/fcc.dir/pipeline/Pipeline.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_tests.dir/service/CompilationServiceTest.cpp.o"
+  "CMakeFiles/service_tests.dir/service/CompilationServiceTest.cpp.o.d"
+  "service_tests"
+  "service_tests.pdb"
+  "service_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

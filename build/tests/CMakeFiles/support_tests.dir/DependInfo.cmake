@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/support/IndexSetTest.cpp" "tests/CMakeFiles/support_tests.dir/support/IndexSetTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/IndexSetTest.cpp.o.d"
   "/root/repo/tests/support/MemoryTrackerTest.cpp" "tests/CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o.d"
   "/root/repo/tests/support/SplitMix64Test.cpp" "tests/CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o.d"
+  "/root/repo/tests/support/ThreadPoolTest.cpp" "tests/CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o.d"
   "/root/repo/tests/support/TriangularBitMatrixTest.cpp" "tests/CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o.d"
   "/root/repo/tests/support/UnionFindTest.cpp" "tests/CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o.d"
   )

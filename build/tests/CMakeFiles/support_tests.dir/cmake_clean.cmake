@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/support_tests.dir/support/MemoryTrackerTest.cpp.o.d"
   "CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o"
   "CMakeFiles/support_tests.dir/support/SplitMix64Test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o.d"
   "CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o"
   "CMakeFiles/support_tests.dir/support/TriangularBitMatrixTest.cpp.o.d"
   "CMakeFiles/support_tests.dir/support/UnionFindTest.cpp.o"

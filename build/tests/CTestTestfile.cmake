@@ -11,6 +11,7 @@ include("/root/repo/build/tests/coalesce_tests[1]_include.cmake")
 include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
 include("/root/repo/build/tests/workload_tests[1]_include.cmake")
 include("/root/repo/build/tests/pipeline_tests[1]_include.cmake")
+include("/root/repo/build/tests/service_tests[1]_include.cmake")
 include("/root/repo/build/tests/opt_tests[1]_include.cmake")
 include("/root/repo/build/tests/regalloc_tests[1]_include.cmake")
 include("/root/repo/build/tests/interp_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcc-batch.dir/fcc-batch.cpp.o"
+  "CMakeFiles/fcc-batch.dir/fcc-batch.cpp.o.d"
+  "fcc-batch"
+  "fcc-batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcc-batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

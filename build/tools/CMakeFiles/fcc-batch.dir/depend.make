@@ -1,0 +1,2 @@
+# Empty dependencies file for fcc-batch.
+# This may be replaced when dependencies are built.

@@ -5,12 +5,18 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(fcc_opt_smoke_sum_to_n "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/sum_to_n.ir" "--pipeline=new" "--dce" "--stats" "--run" "5" "3")
-set_tests_properties(fcc_opt_smoke_sum_to_n PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(fcc_opt_smoke_sum_to_n PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(fcc_opt_smoke_virtswap "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/virtswap.ir" "--pipeline=new" "--dce" "--stats" "--run" "5" "3")
-set_tests_properties(fcc_opt_smoke_virtswap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(fcc_opt_smoke_virtswap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(fcc_opt_smoke_matrix3x3 "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/matrix3x3.ir" "--pipeline=new" "--dce" "--stats" "--run" "5" "3")
-set_tests_properties(fcc_opt_smoke_matrix3x3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(fcc_opt_smoke_matrix3x3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(fcc_opt_smoke_briggs "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/sum_to_n.ir" "--pipeline=briggs*" "--stats" "--run" "7")
-set_tests_properties(fcc_opt_smoke_briggs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(fcc_opt_smoke_briggs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(fcc_opt_smoke_ssa_only "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/virtswap.ir" "--ssa-only" "--stats")
-set_tests_properties(fcc_opt_smoke_ssa_only PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(fcc_opt_smoke_ssa_only PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_opt_smoke_check "/root/repo/build/tools/fcc-opt" "/root/repo/tools/../examples/ir/virtswap.ir" "--pipeline=new" "--check" "--stats" "--run" "1")
+set_tests_properties(fcc_opt_smoke_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_batch_smoke_dir "/root/repo/build/tools/fcc-batch" "/root/repo/tools/../examples/ir" "--jobs=2" "--check" "--json=-" "--no-timings")
+set_tests_properties(fcc_batch_smoke_dir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fcc_batch_smoke_generated "/root/repo/build/tools/fcc-batch" "--generate=16:7" "--jobs=4" "--check" "--run" "5,3")
+set_tests_properties(fcc_batch_smoke_generated PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")

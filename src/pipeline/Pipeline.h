@@ -14,6 +14,20 @@
 /// construction and stops when the code is rewritten. Critical edges are
 /// split beforehand ("after we have read in the code").
 ///
+/// Re-entrancy guarantee: runPipeline, runPipelineChecked and runOnRoutine
+/// are safe to call concurrently from multiple threads as long as each call
+/// operates on a distinct Function (for runOnRoutine, each call materializes
+/// its own Module). Every pass and analysis in the repository — SSABuilder,
+/// Liveness, DominatorTree, FastCoalescer, StandardDestruction, the Briggs
+/// coalescers, the verifier, the interpreter and the generator — keeps all
+/// mutable state in objects scoped to one call; the only function-local
+/// statics in the library are immutable (constexpr opcode tables in the
+/// generator, the lazily built `const` kernel suite, whose initialization
+/// C++ guarantees thread-safe). New passes must preserve this property:
+/// no mutable globals, no caches keyed off raw pointers shared across
+/// functions. The parallel compilation service (src/service/) depends on
+/// it for function-level sharding.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCC_PIPELINE_PIPELINE_H
@@ -58,6 +72,15 @@ struct PipelineResult {
 /// Runs one configuration over \p F in place. \p F must be a verified,
 /// strict, phi-free input program.
 PipelineResult runPipeline(Function &F, PipelineKind Kind);
+
+/// The New configuration with a safety net: after the coalescer decides its
+/// partition (phases 1-4) and before any rewriting, the assignment is
+/// cross-validated with CoalescingChecker against exact SSA liveness. On
+/// success behaves exactly like runPipeline(F, PipelineKind::New), with the
+/// checker's own time excluded from TimeMicros. On refutation returns false,
+/// fills \p Error with the offending pair and leaves \p F in SSA form.
+bool runPipelineChecked(Function &F, PipelineResult &Result,
+                        std::string &Error);
 
 /// One routine compiled under one configuration, optionally executed.
 struct RoutineReport {

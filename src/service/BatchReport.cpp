@@ -1,0 +1,248 @@
+//===- service/BatchReport.cpp --------------------------------------------===//
+
+#include "service/BatchReport.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace fcc;
+
+const char *fcc::unitStatusName(UnitStatus Status) {
+  switch (Status) {
+  case UnitStatus::Ok:
+    return "ok";
+  case UnitStatus::ReadError:
+    return "read-error";
+  case UnitStatus::ParseError:
+    return "parse-error";
+  case UnitStatus::VerifyError:
+    return "verify-error";
+  case UnitStatus::NotStrict:
+    return "not-strict";
+  case UnitStatus::BudgetExceeded:
+    return "budget-exceeded";
+  case UnitStatus::CheckFailed:
+    return "check-failed";
+  case UnitStatus::OutputInvalid:
+    return "output-invalid";
+  case UnitStatus::Cancelled:
+    return "cancelled";
+  case UnitStatus::InternalError:
+    return "internal-error";
+  }
+  return "<invalid>";
+}
+
+BatchTotals BatchReport::totals() const {
+  BatchTotals T;
+  T.Units = static_cast<unsigned>(Units.size());
+  for (const UnitReport &U : Units) {
+    if (!U.ok())
+      ++T.Failed;
+    for (const FunctionRecord &F : U.Functions) {
+      ++T.Functions;
+      T.InputStaticCopies += F.InputStaticCopies;
+      T.StaticCopiesLeft += F.Compile.StaticCopies;
+      T.PhisInserted += F.Compile.PhisInserted;
+      T.MaxPeakBytes = std::max(T.MaxPeakBytes, F.Compile.PeakBytes);
+      T.CompileMicros += F.Compile.TimeMicros;
+    }
+  }
+  return T;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendKey(std::string &Out, const char *Key) {
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+}
+
+void appendNum(std::string &Out, const char *Key, uint64_t Value) {
+  appendKey(Out, Key);
+  Out += std::to_string(Value);
+}
+
+void appendStr(std::string &Out, const char *Key, const std::string &Value) {
+  appendKey(Out, Key);
+  appendEscaped(Out, Value);
+}
+
+void appendFunction(std::string &Out, const FunctionRecord &F,
+                    bool IncludeTimings) {
+  Out += '{';
+  appendStr(Out, "name", F.Name);
+  Out += ',';
+  appendNum(Out, "input_instructions", F.InputInstructions);
+  Out += ',';
+  appendNum(Out, "input_copies", F.InputStaticCopies);
+  Out += ',';
+  appendNum(Out, "phis", F.Compile.PhisInserted);
+  Out += ',';
+  appendNum(Out, "critical_edges_split", F.Compile.CriticalEdgesSplit);
+  Out += ',';
+  appendNum(Out, "copies_left", F.Compile.StaticCopies);
+  Out += ',';
+  appendNum(Out, "peak_bytes", F.Compile.PeakBytes);
+  if (IncludeTimings) {
+    Out += ',';
+    appendNum(Out, "time_us", F.Compile.TimeMicros);
+  }
+  if (F.Executed) {
+    Out += ',';
+    appendKey(Out, "exec");
+    Out += '{';
+    appendKey(Out, "completed");
+    Out += F.Exec.Completed ? "true" : "false";
+    Out += ',';
+    appendKey(Out, "return");
+    Out += std::to_string(F.Exec.ReturnValue);
+    Out += ',';
+    appendNum(Out, "instructions", F.Exec.InstructionsExecuted);
+    Out += ',';
+    appendNum(Out, "copies", F.Exec.CopiesExecuted);
+    Out += '}';
+  }
+  Out += '}';
+}
+
+void appendUnit(std::string &Out, const UnitReport &U, bool IncludeTimings) {
+  Out += '{';
+  appendNum(Out, "index", U.Index);
+  Out += ',';
+  appendStr(Out, "name", U.Name);
+  if (!U.Path.empty()) {
+    Out += ',';
+    appendStr(Out, "path", U.Path);
+  }
+  Out += ',';
+  appendStr(Out, "status", unitStatusName(U.Status));
+  if (!U.ok()) {
+    Out += ',';
+    appendStr(Out, "error", U.Error);
+  }
+  if (IncludeTimings) {
+    Out += ',';
+    appendNum(Out, "time_us", U.TotalMicros);
+  }
+  Out += ',';
+  appendKey(Out, "functions");
+  Out += '[';
+  for (size_t I = 0; I != U.Functions.size(); ++I) {
+    if (I)
+      Out += ',';
+    appendFunction(Out, U.Functions[I], IncludeTimings);
+  }
+  Out += "]}";
+}
+
+} // namespace
+
+std::string BatchReport::toJson(bool IncludeTimings) const {
+  std::string Out;
+  Out += '{';
+  appendStr(Out, "pipeline", pipelineName(Kind));
+  if (IncludeTimings) {
+    Out += ',';
+    appendNum(Out, "jobs", Jobs);
+  }
+  Out += ',';
+  appendKey(Out, "units");
+  Out += '[';
+  for (size_t I = 0; I != Units.size(); ++I) {
+    if (I)
+      Out += ',';
+    appendUnit(Out, Units[I], IncludeTimings);
+  }
+  Out += ']';
+
+  BatchTotals T = totals();
+  Out += ',';
+  appendKey(Out, "totals");
+  Out += '{';
+  appendNum(Out, "units", T.Units);
+  Out += ',';
+  appendNum(Out, "ok", T.Units - T.Failed);
+  Out += ',';
+  appendNum(Out, "failed", T.Failed);
+  Out += ',';
+  appendNum(Out, "functions", T.Functions);
+  Out += ',';
+  appendNum(Out, "input_copies", T.InputStaticCopies);
+  Out += ',';
+  appendNum(Out, "copies_left", T.StaticCopiesLeft);
+  Out += ',';
+  appendNum(Out, "phis", T.PhisInserted);
+  Out += ',';
+  appendNum(Out, "max_peak_bytes", T.MaxPeakBytes);
+  if (IncludeTimings) {
+    Out += ',';
+    appendNum(Out, "compile_us", T.CompileMicros);
+    Out += ',';
+    appendNum(Out, "wall_us", WallMicros);
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string BatchReport::summary() const {
+  BatchTotals T = totals();
+  std::string Out;
+  char Buf[256];
+  for (const UnitReport &U : Units) {
+    if (U.ok())
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "FAIL %-4u %-24s %s: %s\n", U.Index,
+                  U.Name.c_str(), unitStatusName(U.Status), U.Error.c_str());
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "%u units (%u ok, %u failed), %u functions, %s pipeline, "
+                "%u jobs\n",
+                T.Units, T.Units - T.Failed, T.Failed, T.Functions,
+                pipelineName(Kind), Jobs);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "copies %u -> %u, %u phis, peak %zu bytes, compile %llu us, "
+                "wall %llu us\n",
+                T.InputStaticCopies, T.StaticCopiesLeft, T.PhisInserted,
+                T.MaxPeakBytes,
+                static_cast<unsigned long long>(T.CompileMicros),
+                static_cast<unsigned long long>(WallMicros));
+  Out += Buf;
+  return Out;
+}

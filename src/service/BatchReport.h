@@ -1,0 +1,104 @@
+//===- service/BatchReport.h - Batch compilation results --------*- C++ -*-===//
+///
+/// \file
+/// Result types for the compilation service. Reports are keyed by unit
+/// index, never by completion order, so the aggregate over a corpus is
+/// identical whether it was compiled on one thread or eight. The JSON
+/// serialization keeps a fixed key order and, in deterministic mode, omits
+/// the only nondeterministic fields (wall-clock timings and the job count),
+/// which makes byte-level report comparison a valid determinism check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SERVICE_BATCHREPORT_H
+#define FCC_SERVICE_BATCHREPORT_H
+
+#include "interp/Interpreter.h"
+#include "pipeline/Pipeline.h"
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+/// How one work unit ended.
+enum class UnitStatus {
+  Ok,             ///< Compiled (and, if requested, checked/executed).
+  ReadError,      ///< The unit's file could not be read.
+  ParseError,     ///< The textual IR did not parse.
+  VerifyError,    ///< The input module did not verify.
+  NotStrict,      ///< A use may precede every definition (Definition 2.1).
+  BudgetExceeded, ///< Instruction or time budget exhausted.
+  CheckFailed,    ///< CoalescingChecker refuted the partition.
+  OutputInvalid,  ///< The rewritten code did not verify.
+  Cancelled,      ///< The batch was cancelled before this unit ran.
+  InternalError,  ///< The pipeline threw; captured, batch continued.
+};
+
+/// Stable lower-case name ("ok", "parse-error", ...).
+const char *unitStatusName(UnitStatus Status);
+
+/// One function compiled inside a unit.
+struct FunctionRecord {
+  std::string Name;
+  PipelineResult Compile;
+  unsigned InputStaticCopies = 0;
+  unsigned InputInstructions = 0;
+  /// Valid when the service executed the function.
+  bool Executed = false;
+  ExecutionResult Exec;
+};
+
+/// One work unit's outcome.
+struct UnitReport {
+  unsigned Index = 0;
+  std::string Name;
+  std::string Path;
+  UnitStatus Status = UnitStatus::Ok;
+  /// Diagnostic for any non-Ok status.
+  std::string Error;
+  /// Wall-clock for the whole unit (read/parse/compile/check/execute).
+  uint64_t TotalMicros = 0;
+  std::vector<FunctionRecord> Functions;
+
+  bool ok() const { return Status == UnitStatus::Ok; }
+};
+
+/// Deterministic aggregate over a batch (derived from unit reports).
+struct BatchTotals {
+  unsigned Units = 0;
+  unsigned Failed = 0;
+  unsigned Functions = 0;
+  unsigned InputStaticCopies = 0;
+  unsigned StaticCopiesLeft = 0;
+  unsigned PhisInserted = 0;
+  size_t MaxPeakBytes = 0;
+  uint64_t CompileMicros = 0; ///< Sum of per-function pipeline times.
+};
+
+/// Everything the service produced for one batch.
+struct BatchReport {
+  PipelineKind Kind = PipelineKind::New;
+  /// Worker threads actually used.
+  unsigned Jobs = 1;
+  /// Unit reports, indexed by submission order.
+  std::vector<UnitReport> Units;
+  /// Wall-clock of the whole run.
+  uint64_t WallMicros = 0;
+
+  BatchTotals totals() const;
+
+  /// Serializes the report as JSON with a fixed key order. When
+  /// \p IncludeTimings is false every timing field and the job count are
+  /// omitted and the output is a pure function of the corpus — the form
+  /// the determinism tests compare byte-for-byte.
+  std::string toJson(bool IncludeTimings = true) const;
+
+  /// Short human-readable summary (one line per failure plus totals).
+  std::string summary() const;
+};
+
+} // namespace fcc
+
+#endif // FCC_SERVICE_BATCHREPORT_H

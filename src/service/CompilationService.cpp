@@ -1,0 +1,190 @@
+//===- service/CompilationService.cpp -------------------------------------===//
+
+#include "service/CompilationService.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "workload/ProgramGenerator.h"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace fcc;
+
+CompilationService::CompilationService(ServiceOptions Opts)
+    : Opts(std::move(Opts)) {}
+
+namespace {
+
+/// Reads a whole file; false on any stream error.
+bool readFile(const std::string &Path, std::string &Out, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  if (In.bad()) {
+    Error = "read failed for " + Path;
+    return false;
+  }
+  Out = Buffer.str();
+  return true;
+}
+
+/// True when \p Deadline (a per-unit stopwatch with budget \p MaxMicros)
+/// has expired. A zero budget never expires.
+bool overBudget(const Timer &Deadline, uint64_t MaxMicros) {
+  return MaxMicros != 0 && Deadline.elapsedMicros() > MaxMicros;
+}
+
+} // namespace
+
+UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
+                                           unsigned Index) const {
+  UnitReport Report;
+  Report.Index = Index;
+  Report.Name = Unit.Name;
+  Report.Path = Unit.Path;
+  Timer UnitClock;
+
+  auto Fail = [&](UnitStatus Status, std::string Error) -> UnitReport & {
+    Report.Status = Status;
+    Report.Error = std::move(Error);
+    Report.TotalMicros = UnitClock.elapsedMicros();
+    return Report;
+  };
+
+  if (CancelFlag.load())
+    return Fail(UnitStatus::Cancelled, "batch cancelled");
+
+  // Materialize the unit's own Module: parse a file / in-memory source, or
+  // run the deterministic generator. Nothing here is shared across units.
+  std::unique_ptr<Module> M;
+  if (Unit.Generated) {
+    M = std::make_unique<Module>();
+    generateProgram(*M, Unit.Name, Unit.GenOpts);
+  } else {
+    std::string Source = Unit.Source;
+    if (!Unit.Path.empty()) {
+      std::string IoError;
+      if (!readFile(Unit.Path, Source, IoError))
+        return Fail(UnitStatus::ReadError, IoError);
+    }
+    std::string ParseError;
+    M = parseModule(Source, ParseError);
+    if (!M)
+      return Fail(UnitStatus::ParseError, ParseError);
+  }
+
+  if (Opts.MaxUnitInstructions != 0) {
+    unsigned Total = 0;
+    for (const auto &FPtr : M->functions())
+      Total += FPtr->instructionCount();
+    if (Total > Opts.MaxUnitInstructions)
+      return Fail(UnitStatus::BudgetExceeded,
+                  "unit has " + std::to_string(Total) +
+                      " instructions, budget is " +
+                      std::to_string(Opts.MaxUnitInstructions));
+  }
+
+  for (const auto &FPtr : M->functions()) {
+    Function &F = *FPtr;
+    if (overBudget(UnitClock, Opts.MaxUnitMicros))
+      return Fail(UnitStatus::BudgetExceeded,
+                  "time budget exhausted before @" + F.name());
+    if (CancelFlag.load())
+      return Fail(UnitStatus::Cancelled, "batch cancelled at @" + F.name());
+
+    if (Opts.EnforceStrictness)
+      enforceStrictness(F);
+    std::string Error;
+    if (!verifyFunction(F, Error))
+      return Fail(UnitStatus::VerifyError, "@" + F.name() + ": " + Error);
+    if (!isStrict(F))
+      return Fail(UnitStatus::NotStrict,
+                  "@" + F.name() +
+                      " is not strict (a use may precede every definition)");
+
+    FunctionRecord Record;
+    Record.Name = F.name();
+    Record.InputStaticCopies = F.staticCopyCount();
+    Record.InputInstructions = F.instructionCount();
+
+    if (Opts.CheckPartition && Opts.Pipeline == PipelineKind::New) {
+      if (!runPipelineChecked(F, Record.Compile, Error))
+        return Fail(UnitStatus::CheckFailed, "@" + F.name() + ": " + Error);
+    } else {
+      Record.Compile = runPipeline(F, Opts.Pipeline);
+    }
+
+    if (Opts.VerifyOutput && !verifyFunction(F, Error))
+      return Fail(UnitStatus::OutputInvalid, "@" + F.name() + ": " + Error);
+
+    if (Opts.Execute && !overBudget(UnitClock, Opts.MaxUnitMicros)) {
+      Record.Executed = true;
+      Record.Exec = Interpreter(/*MemoryWords=*/64, Opts.ExecStepLimit)
+                        .run(F, Opts.ExecArgs);
+    }
+
+    Report.Functions.push_back(std::move(Record));
+  }
+
+  Report.TotalMicros = UnitClock.elapsedMicros();
+  return Report;
+}
+
+BatchReport CompilationService::run(const std::vector<WorkUnit> &Units) {
+  BatchReport Report;
+  Report.Kind = Opts.Pipeline;
+  unsigned Jobs = Opts.Jobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  Report.Jobs = Jobs;
+  Report.Units.resize(Units.size());
+
+  // Each worker writes only its own preallocated slot, so no result lock
+  // is needed and the aggregate is deterministic by construction.
+  auto RunOne = [this, &Report, &Units](unsigned I) {
+    auto Isolate = [&](const char *What) {
+      UnitReport &U = Report.Units[I];
+      U = UnitReport();
+      U.Index = I;
+      U.Name = Units[I].Name;
+      U.Path = Units[I].Path;
+      U.Status = UnitStatus::InternalError;
+      U.Error = What;
+    };
+    try {
+      Report.Units[I] = compileUnit(Units[I], I);
+    } catch (const std::exception &E) {
+      Isolate(E.what());
+    } catch (...) {
+      Isolate("unknown exception");
+    }
+  };
+
+  Timer Wall;
+  if (Jobs <= 1 || Units.size() <= 1) {
+    for (unsigned I = 0; I != Units.size(); ++I)
+      RunOne(I);
+  } else {
+    ThreadPool Pool(Jobs);
+    for (unsigned I = 0; I != Units.size(); ++I)
+      Pool.submit([&RunOne, I] { RunOne(I); });
+    Pool.wait();
+  }
+  Report.WallMicros = Wall.elapsedMicros();
+  return Report;
+}

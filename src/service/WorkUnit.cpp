@@ -1,0 +1,80 @@
+//===- service/WorkUnit.cpp -----------------------------------------------===//
+
+#include "service/WorkUnit.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+using namespace fcc;
+namespace fs = std::filesystem;
+
+WorkUnit WorkUnit::fromFile(std::string FilePath) {
+  WorkUnit U;
+  U.Name = fs::path(FilePath).stem().string();
+  U.Path = std::move(FilePath);
+  return U;
+}
+
+WorkUnit WorkUnit::fromSource(std::string UnitName, std::string Ir) {
+  WorkUnit U;
+  U.Name = std::move(UnitName);
+  U.Source = std::move(Ir);
+  return U;
+}
+
+WorkUnit WorkUnit::fromGenerator(std::string UnitName,
+                                 const GeneratorOptions &Opts) {
+  WorkUnit U;
+  U.Name = std::move(UnitName);
+  U.GenOpts = Opts;
+  U.Generated = true;
+  return U;
+}
+
+bool fcc::collectUnits(const std::string &Path, std::vector<WorkUnit> &Units,
+                       std::string &Error) {
+  std::error_code Ec;
+  fs::file_status St = fs::status(Path, Ec);
+  if (Ec || St.type() == fs::file_type::not_found) {
+    Error = "no such file or directory: " + Path;
+    return false;
+  }
+  if (!fs::is_directory(St)) {
+    Units.push_back(WorkUnit::fromFile(Path));
+    return true;
+  }
+
+  std::vector<std::string> Files;
+  fs::recursive_directory_iterator It(Path, Ec), End;
+  if (Ec) {
+    Error = "cannot read directory " + Path + ": " + Ec.message();
+    return false;
+  }
+  for (; It != End; It.increment(Ec)) {
+    if (Ec) {
+      Error = "error walking " + Path + ": " + Ec.message();
+      return false;
+    }
+    if (It->is_regular_file(Ec) && It->path().extension() == ".ir")
+      Files.push_back(It->path().string());
+  }
+  // Directory iteration order is filesystem-dependent; the report keys on
+  // unit order, so sort for a deterministic corpus.
+  std::sort(Files.begin(), Files.end());
+  for (std::string &File : Files)
+    Units.push_back(WorkUnit::fromFile(std::move(File)));
+  return true;
+}
+
+std::vector<WorkUnit> fcc::generatedCorpus(unsigned Count, uint64_t BaseSeed,
+                                           GeneratorOptions Base) {
+  std::vector<WorkUnit> Units;
+  Units.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I) {
+    GeneratorOptions Opts = Base;
+    Opts.Seed = BaseSeed + I;
+    Units.push_back(WorkUnit::fromGenerator("gen" + std::to_string(I), Opts));
+  }
+  return Units;
+}

@@ -1,0 +1,59 @@
+//===- service/WorkUnit.h - Units of batch compilation ----------*- C++ -*-===//
+///
+/// \file
+/// A WorkUnit is the shard granularity of the compilation service: one
+/// textual-IR module (a file or an in-memory string) or one generated
+/// routine spec. Units carry no parsed state — each worker materializes its
+/// own Module, which is what makes function-level sharding embarrassingly
+/// parallel (no cross-unit mutable state, exactly the property the paper's
+/// per-function coalescer guarantees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SERVICE_WORKUNIT_H
+#define FCC_SERVICE_WORKUNIT_H
+
+#include "workload/ProgramGenerator.h"
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+/// One independently compilable input. Exactly one of three shapes:
+///   - file unit:      Path set, Source empty, Generated false;
+///   - in-memory unit: Source set (possibly empty-file), Generated false;
+///   - generated unit: Generated true, GenOpts seeds the generator.
+struct WorkUnit {
+  /// Display name: file path stem, or the generated routine's name.
+  std::string Name;
+  /// Source file for file units; empty otherwise.
+  std::string Path;
+  /// Textual IR for in-memory units.
+  std::string Source;
+  /// Generator knobs for generated units.
+  GeneratorOptions GenOpts;
+  bool Generated = false;
+
+  /// Convenience constructors.
+  static WorkUnit fromFile(std::string FilePath);
+  static WorkUnit fromSource(std::string UnitName, std::string Ir);
+  static WorkUnit fromGenerator(std::string UnitName,
+                                const GeneratorOptions &Opts);
+};
+
+/// Expands \p Path into work units: a regular file becomes one unit, a
+/// directory is scanned recursively for `*.ir` files (sorted by path, so
+/// the unit order — and therefore the report — is deterministic). Returns
+/// false and fills \p Error when the path does not exist or a directory
+/// walk fails; an empty directory is not an error.
+bool collectUnits(const std::string &Path, std::vector<WorkUnit> &Units,
+                  std::string &Error);
+
+/// A deterministic corpus of \p Count generated routines seeded from
+/// \p BaseSeed (unit i uses seed BaseSeed + i and name "gen<i>").
+std::vector<WorkUnit> generatedCorpus(unsigned Count, uint64_t BaseSeed = 1,
+                                      GeneratorOptions Base = {});
+
+} // namespace fcc
+
+#endif // FCC_SERVICE_WORKUNIT_H

@@ -1,0 +1,105 @@
+//===- support/ThreadPool.h - Work-stealing task pool -----------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size pool of worker threads with per-worker deques and work
+/// stealing, built for the compilation service's function-level sharding:
+/// tasks are independent, short-to-medium grained, and heavily imbalanced
+/// (one pathological routine can cost 100x the median), which is exactly
+/// the load shape stealing smooths out.
+///
+/// Semantics:
+///   - submit() distributes tasks round-robin across the worker deques;
+///     an idle worker first drains its own deque front-to-back, then
+///     steals from the back of a sibling's deque.
+///   - wait() blocks until every submitted task has finished and rethrows
+///     the first exception any task raised (later exceptions are dropped,
+///     but every task always runs to completion or throw).
+///   - the destructor drains remaining tasks, then joins all workers, so
+///     dropping a pool never loses submitted work.
+///
+/// The pool itself is not a scheduler for dependent tasks: tasks must not
+/// block on each other, only on external state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_THREADPOOL_H
+#define FCC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcc {
+
+/// Fixed-size work-stealing thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p ThreadCount workers; 0 means the hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned ThreadCount = 0);
+
+  /// Drains every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task. Thread-safe; may be called from worker threads.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has finished. If any task
+  /// threw, rethrows the first captured exception (clearing it, so the
+  /// pool stays usable).
+  void wait();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Tasks executed by a worker other than the one they were queued on.
+  /// Monotonic; useful for tests and load diagnostics.
+  uint64_t tasksStolen() const { return Stolen.load(); }
+
+private:
+  /// One worker's deque. Each deque has its own lock so submission and
+  /// stealing never serialize the whole pool.
+  struct Worker {
+    std::mutex Lock;
+    std::deque<std::function<void()>> Queue;
+  };
+
+  void workerLoop(unsigned Self);
+  /// Pops from the front of \p W's own queue; null when empty.
+  std::function<void()> popOwn(Worker &W);
+  /// Steals from the back of some other worker's queue; null when all empty.
+  std::function<void()> steal(unsigned Self);
+  void runTask(std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+
+  /// Guards the counters and flags below; WorkReady wakes idle workers,
+  /// AllDone wakes wait().
+  std::mutex PoolLock;
+  std::condition_variable WorkReady;
+  std::condition_variable AllDone;
+  /// Submitted but not yet finished.
+  size_t Pending = 0;
+  /// Sitting in some deque, not yet picked up.
+  size_t Queued = 0;
+  bool ShuttingDown = false;
+  std::exception_ptr FirstError;
+
+  std::atomic<uint64_t> Stolen{0};
+  std::atomic<unsigned> NextQueue{0};
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_THREADPOOL_H

@@ -1,0 +1,213 @@
+//===- tools/fcc-batch.cpp - Parallel batch driver ------------------------===//
+//
+// Batch front end for the compilation service: compile a corpus of IR files
+// and/or generated routines across worker threads and emit a machine-
+// readable JSON report. Per-unit failures (unreadable, unparsable,
+// non-verifying, over budget) are reported, never fatal; the exit status
+// reflects whether every unit succeeded.
+//
+//   fcc-batch DIR|FILE... [options]
+//
+//   --pipeline=new|standard|briggs|briggs*  configuration (default new)
+//   --jobs=N            worker threads (default 1; 0 = hardware)
+//   --generate=N[:SEED] append N generated routines (default seed 1)
+//   --json=PATH         write the JSON report to PATH ('-' for stdout)
+//   --no-timings        deterministic report: omit timings and job count,
+//                       so reports from different --jobs compare equal
+//   --check             validate each New-pipeline partition (checker)
+//   --run ARG,...       execute every function on the integer args
+//   --strict            insert entry initializations for non-strict inputs
+//   --max-instructions=N  per-unit input-size budget (0 = unlimited)
+//   --time-budget-ms=N    per-unit wall-clock budget (0 = unlimited)
+//   --quiet             suppress the human-readable summary on stdout
+//
+// Exit status: 0 all units ok, 1 some unit failed, 2 usage/setup error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompilationService.h"
+#include "service/WorkUnit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+struct BatchOptions {
+  std::vector<std::string> Paths;
+  ServiceOptions Service;
+  unsigned GenerateCount = 0;
+  uint64_t GenerateSeed = 1;
+  std::string JsonPath;
+  bool IncludeTimings = true;
+  bool Quiet = false;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
+      "       [--jobs=N] [--generate=N[:SEED]] [--json=PATH] [--no-timings]\n"
+      "       [--check] [--run ARG,...] [--strict] [--max-instructions=N]\n"
+      "       [--time-budget-ms=N] [--quiet]\n",
+      Argv0);
+  return 2;
+}
+
+bool parseUnsigned(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    uint64_t Value = 0;
+    if (Arg.rfind("--pipeline=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--pipeline="));
+      if (Name == "new")
+        Opts.Service.Pipeline = PipelineKind::New;
+      else if (Name == "standard")
+        Opts.Service.Pipeline = PipelineKind::Standard;
+      else if (Name == "briggs")
+        Opts.Service.Pipeline = PipelineKind::Briggs;
+      else if (Name == "briggs*")
+        Opts.Service.Pipeline = PipelineKind::BriggsImproved;
+      else {
+        std::fprintf(stderr, "unknown pipeline '%s'\n", Name.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), Value)) {
+        std::fprintf(stderr, "bad --jobs value in '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Service.Jobs = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--generate=", 0) == 0) {
+      std::string Spec = Arg.substr(std::strlen("--generate="));
+      std::string CountPart = Spec;
+      size_t Colon = Spec.find(':');
+      if (Colon != std::string::npos) {
+        CountPart = Spec.substr(0, Colon);
+        if (!parseUnsigned(Spec.substr(Colon + 1), Opts.GenerateSeed)) {
+          std::fprintf(stderr, "bad --generate seed in '%s'\n", Arg.c_str());
+          return false;
+        }
+      }
+      if (!parseUnsigned(CountPart, Value)) {
+        std::fprintf(stderr, "bad --generate count in '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.GenerateCount = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      Opts.JsonPath = Arg.substr(7);
+    } else if (Arg == "--no-timings") {
+      Opts.IncludeTimings = false;
+    } else if (Arg == "--check") {
+      Opts.Service.CheckPartition = true;
+    } else if (Arg == "--strict") {
+      Opts.Service.EnforceStrictness = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg.rfind("--max-instructions=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(std::strlen("--max-instructions=")),
+                         Value)) {
+        std::fprintf(stderr, "bad value in '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Service.MaxUnitInstructions = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--time-budget-ms=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(std::strlen("--time-budget-ms=")),
+                         Value)) {
+        std::fprintf(stderr, "bad value in '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Service.MaxUnitMicros = Value * 1000;
+    } else if (Arg == "--run") {
+      Opts.Service.Execute = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+        std::string Args = Argv[++I];
+        size_t Pos = 0;
+        while (Pos < Args.size()) {
+          size_t Comma = Args.find(',', Pos);
+          if (Comma == std::string::npos)
+            Comma = Args.size();
+          Opts.Service.ExecArgs.push_back(
+              std::strtoll(Args.substr(Pos, Comma - Pos).c_str(), nullptr,
+                           10));
+          Pos = Comma + 1;
+        }
+      }
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Opts.Paths.push_back(Arg);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return !Opts.Paths.empty() || Opts.GenerateCount != 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BatchOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+  if (Opts.Service.CheckPartition &&
+      Opts.Service.Pipeline != PipelineKind::New) {
+    std::fprintf(stderr, "--check requires --pipeline=new\n");
+    return 2;
+  }
+
+  std::vector<WorkUnit> Units;
+  for (const std::string &Path : Opts.Paths) {
+    std::string Error;
+    if (!collectUnits(Path, Units, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 2;
+    }
+  }
+  if (Opts.GenerateCount != 0) {
+    std::vector<WorkUnit> Gen =
+        generatedCorpus(Opts.GenerateCount, Opts.GenerateSeed);
+    for (WorkUnit &U : Gen)
+      Units.push_back(std::move(U));
+  }
+  if (Units.empty()) {
+    std::fprintf(stderr, "no work units (no .ir files found)\n");
+    return 2;
+  }
+
+  CompilationService Service(Opts.Service);
+  BatchReport Report = Service.run(Units);
+
+  if (!Opts.JsonPath.empty()) {
+    std::string Json = Report.toJson(Opts.IncludeTimings);
+    if (Opts.JsonPath == "-") {
+      std::fwrite(Json.data(), 1, Json.size(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::ofstream Out(Opts.JsonPath, std::ios::binary);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write %s\n", Opts.JsonPath.c_str());
+        return 2;
+      }
+      Out << Json << '\n';
+    }
+  }
+
+  if (!Opts.Quiet)
+    std::fputs(Report.summary().c_str(), stdout);
+
+  return Report.totals().Failed == 0 ? 0 : 1;
+}

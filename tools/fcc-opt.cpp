@@ -12,6 +12,8 @@
 //   --copyprop        run local copy propagation after the pipeline
 //   --dce             run dead-code elimination after the pipeline
 //   --strict          insert entry initializations for non-strict inputs
+//   --check           validate the coalescer's partition with the
+//                     independent CoalescingChecker (new pipeline)
 //   --trace           narrate the coalescer's decisions (new pipeline)
 //   --stats           print per-function statistics
 //   --run ARGS...     execute each function on the integer ARGS
@@ -21,6 +23,7 @@
 #include "analysis/CFGUtils.h"
 #include "analysis/DominatorTree.h"
 #include "analysis/Liveness.h"
+#include "coalesce/CoalescingChecker.h"
 #include "coalesce/FastCoalescer.h"
 #include "interp/Interpreter.h"
 #include "ir/Function.h"
@@ -53,6 +56,7 @@ struct DriverOptions {
   bool CopyProp = false;
   bool Dce = false;
   bool Strict = false;
+  bool Check = false;
   bool Trace = false;
   bool Stats = false;
   bool Execute = false;
@@ -63,7 +67,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s FILE.ir [--pipeline=new|standard|briggs|briggs*]\n"
                "       [--ssa-only] [--no-fold] [--copyprop] [--dce] "
-               "[--strict] [--trace] [--stats]\n"
+               "[--strict] [--check] [--trace] [--stats]\n"
                "       [--run ARGS...]\n",
                Argv0);
   return 2;
@@ -82,6 +86,8 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.Dce = true;
     else if (Arg == "--strict")
       Opts.Strict = true;
+    else if (Arg == "--check")
+      Opts.Check = true;
     else if (Arg == "--trace")
       Opts.Trace = true;
     else if (Arg == "--stats")
@@ -120,6 +126,12 @@ int main(int Argc, char **Argv) {
   DriverOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Argv[0]);
+  if (Opts.Check && (Opts.SsaOnly || Opts.Pipeline != PipelineKind::New)) {
+    std::fprintf(stderr,
+                 "--check validates a coalescing partition; it requires "
+                 "--pipeline=new (without --ssa-only)\n");
+    return 2;
+  }
 
   std::ifstream In(Opts.InputPath);
   if (!In) {
@@ -162,8 +174,10 @@ int main(int Argc, char **Argv) {
       if (Opts.Stats)
         std::printf("; @%s: %u phis, %u copies folded\n", F.name().c_str(),
                     Stats.PhisInserted, Stats.CopiesFolded);
-    } else if (Opts.Pipeline == PipelineKind::New && Opts.Trace) {
-      // Expanded so the coalescer can narrate.
+    } else if (Opts.Pipeline == PipelineKind::New &&
+               (Opts.Trace || Opts.Check)) {
+      // Expanded so the coalescer can narrate and the partition can be
+      // audited before it rewrites anything.
       splitCriticalEdges(F);
       DominatorTree DT(F);
       SSABuildOptions Build;
@@ -171,8 +185,23 @@ int main(int Argc, char **Argv) {
       buildSSA(F, DT, Build);
       Liveness LV(F);
       FastCoalescerOptions Coalesce;
-      Coalesce.Trace = stderr;
-      coalesceSSA(F, DT, LV, Coalesce);
+      if (Opts.Trace)
+        Coalesce.Trace = stderr;
+      FastCoalescer Coalescer(F, DT, LV, Coalesce);
+      Coalescer.computePartition();
+      if (Opts.Check) {
+        std::string CheckError;
+        if (!checkCoalescing(
+                F, LV, [&](const Variable *V) { return Coalescer.rep(V); },
+                CheckError)) {
+          std::fprintf(stderr, "@%s: coalescing check FAILED: %s\n",
+                       F.name().c_str(), CheckError.c_str());
+          return 1;
+        }
+        if (Opts.Stats)
+          std::printf("; @%s: coalescing check passed\n", F.name().c_str());
+      }
+      Coalescer.rewrite();
     } else {
       PipelineResult Result = runPipeline(F, *Opts.Pipeline);
       if (Opts.Stats)
