@@ -9,9 +9,11 @@
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Variable.h"
+#include "support/Stats.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace fcc;
 
@@ -92,29 +94,36 @@ BriggsStats fcc::coalesceCopiesBriggs(Function &F,
                        return A.Depth > B.Depth;
                      });
 
-    Liveness LV(F);
-
     // The classic variant builds over every name each pass; the improved
-    // one restricts the rebuilt graph to names involved in copies.
+    // one restricts the rebuilt graph to names involved in copies. The
+    // liveness recomputation is part of each pass's graph-build cost.
+    std::optional<Liveness> LV;
     std::vector<Variable *> CopyNames;
-    InterferenceGraph::BuildOptions BuildOpts;
-    if (Opts.Improved) {
-      std::vector<bool> Seen(F.numVariables(), false);
-      for (const CopySite &C : Copies)
-        for (Variable *V :
-             {C.Inst->getDef(), C.Inst->getOperand(0).getVar()})
-          if (!Seen[V->id()]) {
-            Seen[V->id()] = true;
-            CopyNames.push_back(V);
-          }
-      BuildOpts.Restrict = &CopyNames;
+    std::optional<InterferenceGraph> GraphStorage;
+    {
+      PhaseScope P(Opts.Instr, "briggs.ig-build", "coalesce");
+      LV.emplace(F);
+      InterferenceGraph::BuildOptions BuildOpts;
+      if (Opts.Improved) {
+        std::vector<bool> Seen(F.numVariables(), false);
+        for (const CopySite &C : Copies)
+          for (Variable *V :
+               {C.Inst->getDef(), C.Inst->getOperand(0).getVar()})
+            if (!Seen[V->id()]) {
+              Seen[V->id()] = true;
+              CopyNames.push_back(V);
+            }
+        BuildOpts.Restrict = &CopyNames;
+      }
+      GraphStorage.emplace(F, *LV, BuildOpts);
     }
-    InterferenceGraph Graph(F, LV, BuildOpts);
+    InterferenceGraph &Graph = *GraphStorage;
     Stats.GraphBytesPerPass.push_back(Graph.bytes());
     Stats.PeakBytes = std::max(
-        Stats.PeakBytes, Graph.bytes() + LV.bytes() +
+        Stats.PeakBytes, Graph.bytes() + LV->bytes() +
                              Copies.capacity() * sizeof(CopySite) +
                              CopyNames.capacity() * sizeof(Variable *));
+    PhaseScope PassScope(Opts.Instr, "briggs.coalesce-pass", "coalesce");
 
     // Coalesce every copy whose endpoints do not interfere, folding the
     // merged node's edges conservatively so later decisions in this pass
@@ -167,6 +176,11 @@ BriggsStats fcc::coalesceCopiesBriggs(Function &F,
       for (Instruction *I : SelfCopies)
         B->eraseInst(I);
     }
+  }
+  if (Opts.Instr && Opts.Instr->Stats) {
+    StatsRegistry &R = *Opts.Instr->Stats;
+    R.bump("briggs.copies-coalesced", Stats.CopiesCoalesced);
+    R.bump("briggs.passes", Stats.Iterations);
   }
   return Stats;
 }

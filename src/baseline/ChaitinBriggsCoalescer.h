@@ -24,6 +24,7 @@
 namespace fcc {
 
 class Function;
+struct Instrumentation;
 
 /// Chaitin/Briggs step 2, and the other half of the paper's title: unions
 /// the phi webs of an SSA function built *without* copy folding, renames
@@ -36,6 +37,10 @@ unsigned identifyLiveRangeWebs(Function &F);
 struct BriggsOptions {
   /// Use the improved copy-involved-only graph rebuilds (Briggs*).
   bool Improved = false;
+  /// Observability sinks (support/Stats.h): per-pass briggs.ig-build /
+  /// briggs.coalesce-pass timers (trace category "coalesce") plus the
+  /// briggs.* outcome counters. Null (the default) is uninstrumented.
+  const Instrumentation *Instr = nullptr;
 };
 
 /// Outcome counters for one run.

@@ -11,6 +11,7 @@
 #include "ir/Function.h"
 #include "ir/Variable.h"
 #include "ssa/ParallelCopy.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <iterator>
@@ -102,9 +103,18 @@ void FastCoalescer::computePartition() {
     Removed.assign(NumVars, false);
     LocalPairs.clear();
 
-    buildInitialSets();
-    walkForests();
-    resolveLocalInterference();
+    {
+      PhaseScope P(Opts.Instr, "fast.build-sets", "coalesce");
+      buildInitialSets();
+    }
+    {
+      PhaseScope P(Opts.Instr, "fast.forest-walk", "coalesce");
+      walkForests();
+    }
+    {
+      PhaseScope P(Opts.Instr, "fast.local-scan", "coalesce");
+      resolveLocalInterference();
+    }
 
     Stats.PeakBytes += Sets.bytes() + Removed.size() / 8 +
                        LocalPairs.capacity() * sizeof(LocalPair);
@@ -527,6 +537,7 @@ void FastCoalescer::resolveLocalInterference() {
 
 FastCoalesceStats FastCoalescer::rewrite() {
   computePartition();
+  PhaseScope Phase(Opts.Instr, "fast.rewrite", "coalesce");
   unsigned TempCounter = 0;
 
   // The Waiting array of Section 3: per-block pending copies derived from
@@ -601,6 +612,16 @@ FastCoalesceStats FastCoalescer::rewrite() {
   for (const auto &B : F.blocks())
     B->takePhis();
 
+  if (Opts.Instr && Opts.Instr->Stats) {
+    StatsRegistry &R = *Opts.Instr->Stats;
+    R.bump("fast.copies-inserted", Stats.CopiesInserted);
+    R.bump("fast.temps-used", Stats.TempsUsed);
+    R.bump("fast.filter-rejections", Stats.FilterRejections);
+    R.bump("fast.forest-evictions", Stats.ForestEvictions);
+    R.bump("fast.local-evictions", Stats.LocalEvictions);
+    R.bump("fast.sets-renamed", Stats.SetsRenamed);
+    R.bump("fast.rounds", Stats.Rounds);
+  }
   return Stats;
 }
 

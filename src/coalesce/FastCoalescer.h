@@ -40,6 +40,7 @@ class DominatorTree;
 class Function;
 class Liveness;
 class Variable;
+struct Instrumentation;
 
 /// Outcome counters for one coalescing run.
 struct FastCoalesceStats {
@@ -98,6 +99,11 @@ struct FastCoalescerOptions {
   /// When set, every filter rejection and eviction is narrated here (used
   /// by the examples and for debugging).
   std::FILE *Trace = nullptr;
+  /// Observability sinks (support/Stats.h): sub-phase timers per round
+  /// (fast.build-sets / fast.forest-walk / fast.local-scan / fast.rewrite,
+  /// trace category "coalesce") plus the fast.* outcome counters recorded
+  /// at rewrite. Null (the default) is the uninstrumented fast path.
+  const Instrumentation *Instr = nullptr;
 };
 
 /// The coalescing SSA destructor. Use: construct, computePartition(), then

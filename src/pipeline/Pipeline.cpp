@@ -15,6 +15,7 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace fcc;
 
@@ -32,54 +33,113 @@ const char *fcc::pipelineName(PipelineKind Kind) {
   return "<invalid>";
 }
 
-PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind) {
+PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind,
+                                const Instrumentation *Instr) {
   PipelineResult Result;
   Result.Kind = Kind;
-  Result.CriticalEdgesSplit = splitCriticalEdges(F);
+  // When instrumented, every top-level phase lands in Result.Phases; only
+  // the "pipeline"-category ones below run inside the paper's clock.
+  std::vector<PhaseSample> *Ph = Instr ? &Result.Phases : nullptr;
+  {
+    PhaseScope Split(Instr, "split-critical-edges", "setup", Ph);
+    Result.CriticalEdgesSplit = splitCriticalEdges(F);
+  }
 
   Timer Clock; // The paper's timer: starts right before SSA construction.
 
   switch (Kind) {
   case PipelineKind::Standard: {
-    DominatorTree DT(F);
+    std::optional<DominatorTree> DT;
+    {
+      PhaseScope P(Instr, "dominators", "pipeline", Ph);
+      DT.emplace(F);
+    }
     SSABuildOptions Opts;
     Opts.FoldCopies = true;
-    SSABuildStats Ssa = buildSSA(F, DT, Opts);
-    DestructionStats Destr = destroySSAStandard(F);
+    SSABuildStats Ssa;
+    {
+      PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
+      Ssa = buildSSA(F, *DT, Opts);
+    }
+    DestructionStats Destr;
+    {
+      PhaseScope P(Instr, "rewrite", "pipeline", Ph);
+      Destr = destroySSAStandard(F);
+    }
     Result.TimeMicros = Clock.elapsedMicros();
     Result.PhisInserted = Ssa.PhisInserted;
     Result.PeakBytes =
-        std::max(Ssa.PeakBytes, Destr.PeakBytes) + DT.bytes();
+        std::max(Ssa.PeakBytes, Destr.PeakBytes) + DT->bytes();
     break;
   }
   case PipelineKind::New: {
-    DominatorTree DT(F);
+    std::optional<DominatorTree> DT;
+    {
+      PhaseScope P(Instr, "dominators", "pipeline", Ph);
+      DT.emplace(F);
+    }
     SSABuildOptions Opts;
     Opts.FoldCopies = true;
-    SSABuildStats Ssa = buildSSA(F, DT, Opts);
-    Liveness LV(F);
-    FastCoalesceStats Co = coalesceSSA(F, DT, LV);
+    SSABuildStats Ssa;
+    {
+      PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
+      Ssa = buildSSA(F, *DT, Opts);
+    }
+    std::optional<Liveness> LV;
+    {
+      PhaseScope P(Instr, "liveness", "pipeline", Ph);
+      LV.emplace(F);
+    }
+    FastCoalescerOptions CoOpts;
+    CoOpts.Instr = Instr;
+    std::optional<FastCoalescer> Coalescer;
+    {
+      PhaseScope P(Instr, "forest-walk", "pipeline", Ph);
+      Coalescer.emplace(F, *DT, *LV, CoOpts);
+      Coalescer->computePartition();
+    }
+    FastCoalesceStats Co;
+    {
+      PhaseScope P(Instr, "rewrite", "pipeline", Ph);
+      Co = Coalescer->rewrite();
+    }
     Result.TimeMicros = Clock.elapsedMicros();
     Result.PhisInserted = Ssa.PhisInserted;
     Result.PeakBytes =
-        std::max(Ssa.PeakBytes, Co.PeakBytes + LV.bytes()) + DT.bytes();
+        std::max(Ssa.PeakBytes, Co.PeakBytes + LV->bytes()) + DT->bytes();
     break;
   }
   case PipelineKind::Briggs:
   case PipelineKind::BriggsImproved: {
-    DominatorTree DT(F);
+    std::optional<DominatorTree> DT;
+    {
+      PhaseScope P(Instr, "dominators", "pipeline", Ph);
+      DT.emplace(F);
+    }
     SSABuildOptions Opts;
     Opts.FoldCopies = false;
-    SSABuildStats Ssa = buildSSA(F, DT, Opts);
-    identifyLiveRangeWebs(F);
+    SSABuildStats Ssa;
+    {
+      PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
+      Ssa = buildSSA(F, *DT, Opts);
+    }
+    {
+      PhaseScope P(Instr, "live-range-webs", "pipeline", Ph);
+      identifyLiveRangeWebs(F);
+    }
     Timer CoalesceClock;
     BriggsOptions BO;
     BO.Improved = Kind == PipelineKind::BriggsImproved;
-    BriggsStats Briggs = coalesceCopiesBriggs(F, BO);
+    BO.Instr = Instr;
+    BriggsStats Briggs;
+    {
+      PhaseScope P(Instr, "briggs-coalesce", "pipeline", Ph);
+      Briggs = coalesceCopiesBriggs(F, BO);
+    }
     Result.CoalesceTimeMicros = CoalesceClock.elapsedMicros();
     Result.TimeMicros = Clock.elapsedMicros();
     Result.PhisInserted = Ssa.PhisInserted;
-    Result.PeakBytes = std::max(Ssa.PeakBytes, Briggs.PeakBytes) + DT.bytes();
+    Result.PeakBytes = std::max(Ssa.PeakBytes, Briggs.PeakBytes) + DT->bytes();
     Result.GraphBytesPerPass = std::move(Briggs.GraphBytesPerPass);
     Result.CoalescePasses = Briggs.Iterations;
     break;
@@ -91,36 +151,67 @@ PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind) {
 }
 
 bool fcc::runPipelineChecked(Function &F, PipelineResult &Result,
-                             std::string &Error) {
+                             std::string &Error,
+                             const Instrumentation *Instr) {
   Result = PipelineResult();
   Result.Kind = PipelineKind::New;
-  Result.CriticalEdgesSplit = splitCriticalEdges(F);
+  std::vector<PhaseSample> *Ph = Instr ? &Result.Phases : nullptr;
+  {
+    PhaseScope Split(Instr, "split-critical-edges", "setup", Ph);
+    Result.CriticalEdgesSplit = splitCriticalEdges(F);
+  }
 
   Timer Clock;
-  DominatorTree DT(F);
+  std::optional<DominatorTree> DT;
+  {
+    PhaseScope P(Instr, "dominators", "pipeline", Ph);
+    DT.emplace(F);
+  }
   SSABuildOptions Opts;
   Opts.FoldCopies = true;
-  SSABuildStats Ssa = buildSSA(F, DT, Opts);
-  Liveness LV(F);
+  SSABuildStats Ssa;
+  {
+    PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
+    Ssa = buildSSA(F, *DT, Opts);
+  }
+  std::optional<Liveness> LV;
+  {
+    PhaseScope P(Instr, "liveness", "pipeline", Ph);
+    LV.emplace(F);
+  }
 
-  FastCoalescer Coalescer(F, DT, LV);
-  Coalescer.computePartition();
+  FastCoalescerOptions CoOpts;
+  CoOpts.Instr = Instr;
+  std::optional<FastCoalescer> Coalescer;
+  {
+    PhaseScope P(Instr, "forest-walk", "pipeline", Ph);
+    Coalescer.emplace(F, *DT, *LV, CoOpts);
+    Coalescer->computePartition();
+  }
 
   // The audit is diagnostics, not conversion work: keep its cost out of the
-  // paper-comparable timing.
+  // paper-comparable timing (and out of the "pipeline" phase samples).
   Timer CheckClock;
-  bool Valid = checkCoalescing(
-      F, LV, [&](const Variable *V) { return Coalescer.rep(V); }, Error);
+  bool Valid;
+  {
+    PhaseScope P(Instr, "partition-check", "audit");
+    Valid = checkCoalescing(
+        F, *LV, [&](const Variable *V) { return Coalescer->rep(V); }, Error);
+  }
   uint64_t CheckMicros = CheckClock.elapsedMicros();
   if (!Valid)
     return false;
 
-  FastCoalesceStats Co = Coalescer.rewrite();
+  FastCoalesceStats Co;
+  {
+    PhaseScope P(Instr, "rewrite", "pipeline", Ph);
+    Co = Coalescer->rewrite();
+  }
   uint64_t Elapsed = Clock.elapsedMicros();
   Result.TimeMicros = Elapsed > CheckMicros ? Elapsed - CheckMicros : 0;
   Result.PhisInserted = Ssa.PhisInserted;
   Result.PeakBytes =
-      std::max(Ssa.PeakBytes, Co.PeakBytes + LV.bytes()) + DT.bytes();
+      std::max(Ssa.PeakBytes, Co.PeakBytes + LV->bytes()) + DT->bytes();
   Result.StaticCopies = F.staticCopyCount();
   return true;
 }

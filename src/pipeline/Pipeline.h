@@ -34,6 +34,7 @@
 #define FCC_PIPELINE_PIPELINE_H
 
 #include "interp/Interpreter.h"
+#include "support/Stats.h"
 #include "workload/KernelSuite.h"
 #include <cstddef>
 #include <cstdint>
@@ -67,20 +68,35 @@ struct PipelineResult {
   unsigned CoalescePasses = 0;
   /// Briggs variants: wall-clock of the coalescing phase alone (Table 1).
   uint64_t CoalesceTimeMicros = 0;
+  /// Per-phase breakdown, filled only when the run was instrumented. The
+  /// samples are the non-overlapping top-level phases in execution order;
+  /// the ones inside the paper's timed window ("pipeline"-category phases:
+  /// dominators, ssa-build, liveness, forest-walk/live-range-webs,
+  /// briggs-coalesce, rewrite) sum to TimeMicros up to clock granularity.
+  /// split-critical-edges runs before the paper's clock starts and is the
+  /// one sample outside the window.
+  std::vector<PhaseSample> Phases;
 };
 
 /// Runs one configuration over \p F in place. \p F must be a verified,
-/// strict, phi-free input program.
-PipelineResult runPipeline(Function &F, PipelineKind Kind);
+/// strict, phi-free input program. When \p Instr is non-null, each phase is
+/// timed into Result.Phases and reported to the instrumentation's sinks
+/// (registry counters/timers, Chrome trace events); a null \p Instr is the
+/// uninstrumented fast path with no extra clock reads.
+PipelineResult runPipeline(Function &F, PipelineKind Kind,
+                           const Instrumentation *Instr = nullptr);
 
 /// The New configuration with a safety net: after the coalescer decides its
 /// partition (phases 1-4) and before any rewriting, the assignment is
 /// cross-validated with CoalescingChecker against exact SSA liveness. On
 /// success behaves exactly like runPipeline(F, PipelineKind::New), with the
-/// checker's own time excluded from TimeMicros. On refutation returns false,
-/// fills \p Error with the offending pair and leaves \p F in SSA form.
+/// checker's own time excluded from TimeMicros (and from the "pipeline"
+/// phase samples — the audit traces under category "audit"). On refutation
+/// returns false, fills \p Error with the offending pair and leaves \p F in
+/// SSA form.
 bool runPipelineChecked(Function &F, PipelineResult &Result,
-                        std::string &Error);
+                        std::string &Error,
+                        const Instrumentation *Instr = nullptr);
 
 /// One routine compiled under one configuration, optionally executed.
 struct RoutineReport {

@@ -121,6 +121,22 @@ void appendFunction(std::string &Out, const FunctionRecord &F,
   if (IncludeTimings) {
     Out += ',';
     appendNum(Out, "time_us", F.Compile.TimeMicros);
+    if (!F.Compile.Phases.empty()) {
+      Out += ',';
+      appendKey(Out, "phases");
+      Out += '[';
+      for (size_t I = 0; I != F.Compile.Phases.size(); ++I) {
+        const PhaseSample &P = F.Compile.Phases[I];
+        if (I)
+          Out += ',';
+        Out += '{';
+        appendStr(Out, "name", P.Name);
+        Out += ',';
+        appendNum(Out, "us", P.Micros);
+        Out += '}';
+      }
+      Out += ']';
+    }
   }
   if (F.Executed) {
     Out += ',';
@@ -215,8 +231,43 @@ std::string BatchReport::toJson(bool IncludeTimings) const {
     Out += ',';
     appendNum(Out, "wall_us", WallMicros);
   }
-  Out += "}}";
+  Out += '}';
+
+  if (HasStats) {
+    Out += ',';
+    appendKey(Out, "stats");
+    Out += "{\"counters\":{";
+    for (size_t I = 0; I != Counters.size(); ++I) {
+      if (I)
+        Out += ',';
+      appendEscaped(Out, Counters[I].Name);
+      Out += ':' + std::to_string(Counters[I].Value);
+    }
+    Out += "},\"phases\":[";
+    for (size_t I = 0; I != PhaseTotals.size(); ++I) {
+      const PhaseTotal &P = PhaseTotals[I];
+      if (I)
+        Out += ',';
+      Out += '{';
+      appendStr(Out, "name", P.Name);
+      Out += ',';
+      appendNum(Out, "calls", P.Calls);
+      if (IncludeTimings) {
+        Out += ',';
+        appendNum(Out, "us", P.Micros);
+      }
+      Out += '}';
+    }
+    Out += "]}";
+  }
+  Out += '}';
   return Out;
+}
+
+std::string BatchReport::statsText(bool IncludeTimings) const {
+  if (!HasStats)
+    return std::string();
+  return renderStats(PhaseTotals, Counters, IncludeTimings);
 }
 
 std::string BatchReport::summary() const {

@@ -86,6 +86,13 @@ struct BatchReport {
   std::vector<UnitReport> Units;
   /// Wall-clock of the whole run.
   uint64_t WallMicros = 0;
+  /// Filled when the service ran with CollectStats: per-phase totals and
+  /// named counters aggregated across every worker, sorted by name.
+  /// Counters and phase call counts are pure functions of the corpus; only
+  /// the accumulated microseconds depend on the clock.
+  bool HasStats = false;
+  std::vector<PhaseTotal> PhaseTotals;
+  std::vector<CounterSnapshot> Counters;
 
   BatchTotals totals() const;
 
@@ -97,6 +104,12 @@ struct BatchReport {
 
   /// Short human-readable summary (one line per failure plus totals).
   std::string summary() const;
+
+  /// The aggregated phase/counter tables as fixed-width text ("" when the
+  /// run did not collect stats). With \p IncludeTimings false the
+  /// microsecond column is omitted and the text is byte-identical across
+  /// job counts — the same determinism contract as toJson.
+  std::string statsText(bool IncludeTimings = true) const;
 };
 
 } // namespace fcc

@@ -7,12 +7,15 @@
 #include "ir/IRParser.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/TraceWriter.h"
 #include "workload/ProgramGenerator.h"
 
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -49,17 +52,41 @@ bool overBudget(const Timer &Deadline, uint64_t MaxMicros) {
 } // namespace
 
 UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
-                                           unsigned Index) const {
+                                           unsigned Index,
+                                           StatsRegistry *Registry) const {
   UnitReport Report;
   Report.Index = Index;
   Report.Name = Unit.Name;
   Report.Path = Unit.Path;
   Timer UnitClock;
 
+  // The per-unit instrumentation handle; sinks are shared across workers
+  // (the registry and trace writer are thread-safe), labels are ours.
+  // Trace events stage in a unit-local buffer flushed once at unit end, so
+  // the writer's lock is taken once per unit, not once per phase.
+  Instrumentation Instr;
+  Instr.Stats = Registry;
+  Instr.Trace = Opts.Trace;
+  Instr.Unit = Unit.Name;
+  std::vector<TraceEvent> TraceBuf;
+  if (Opts.Trace)
+    Instr.TraceBuf = &TraceBuf;
+  const bool Observe = Instr.active();
+  const uint64_t UnitTraceStart = Opts.Trace ? Opts.Trace->nowMicros() : 0;
+  auto EmitUnitSpan = [&] {
+    if (!Opts.Trace)
+      return;
+    TraceBuf.push_back({Unit.Name, "unit", UnitTraceStart,
+                        Opts.Trace->nowMicros() - UnitTraceStart, /*Tid=*/0,
+                        Unit.Name, std::string()});
+    Opts.Trace->appendEvents(std::move(TraceBuf));
+  };
+
   auto Fail = [&](UnitStatus Status, std::string Error) -> UnitReport & {
     Report.Status = Status;
     Report.Error = std::move(Error);
     Report.TotalMicros = UnitClock.elapsedMicros();
+    EmitUnitSpan();
     return Report;
   };
 
@@ -119,12 +146,17 @@ UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
     Record.InputStaticCopies = F.staticCopyCount();
     Record.InputInstructions = F.instructionCount();
 
+    Instr.Function = F.name();
+    const Instrumentation *InstrPtr = Observe ? &Instr : nullptr;
     if (Opts.CheckPartition && Opts.Pipeline == PipelineKind::New) {
-      if (!runPipelineChecked(F, Record.Compile, Error))
+      if (!runPipelineChecked(F, Record.Compile, Error, InstrPtr))
         return Fail(UnitStatus::CheckFailed, "@" + F.name() + ": " + Error);
     } else {
-      Record.Compile = runPipeline(F, Opts.Pipeline);
+      Record.Compile = runPipeline(F, Opts.Pipeline, InstrPtr);
     }
+
+    if (Registry)
+      Registry->noteMax("pipeline.peak-bytes", Record.Compile.PeakBytes);
 
     if (Opts.VerifyOutput && !verifyFunction(F, Error))
       return Fail(UnitStatus::OutputInvalid, "@" + F.name() + ": " + Error);
@@ -139,6 +171,7 @@ UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
   }
 
   Report.TotalMicros = UnitClock.elapsedMicros();
+  EmitUnitSpan();
   return Report;
 }
 
@@ -154,9 +187,16 @@ BatchReport CompilationService::run(const std::vector<WorkUnit> &Units) {
   Report.Jobs = Jobs;
   Report.Units.resize(Units.size());
 
+  // One registry per run when stats were requested; workers bump it
+  // concurrently and the sums are scheduling-independent.
+  std::optional<StatsRegistry> Registry;
+  if (Opts.CollectStats)
+    Registry.emplace();
+  StatsRegistry *Reg = Registry ? &*Registry : nullptr;
+
   // Each worker writes only its own preallocated slot, so no result lock
   // is needed and the aggregate is deterministic by construction.
-  auto RunOne = [this, &Report, &Units](unsigned I) {
+  auto RunOne = [this, &Report, &Units, Reg](unsigned I) {
     auto Isolate = [&](const char *What) {
       UnitReport &U = Report.Units[I];
       U = UnitReport();
@@ -167,7 +207,7 @@ BatchReport CompilationService::run(const std::vector<WorkUnit> &Units) {
       U.Error = What;
     };
     try {
-      Report.Units[I] = compileUnit(Units[I], I);
+      Report.Units[I] = compileUnit(Units[I], I, Reg);
     } catch (const std::exception &E) {
       Isolate(E.what());
     } catch (...) {
@@ -186,5 +226,10 @@ BatchReport CompilationService::run(const std::vector<WorkUnit> &Units) {
     Pool.wait();
   }
   Report.WallMicros = Wall.elapsedMicros();
+  if (Registry) {
+    Report.HasStats = true;
+    Report.Counters = Registry->counters();
+    Report.PhaseTotals = Registry->phases();
+  }
   return Report;
 }

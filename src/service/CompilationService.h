@@ -37,6 +37,9 @@
 
 namespace fcc {
 
+class StatsRegistry;
+class TraceWriter;
+
 /// Knobs for one batch run.
 struct ServiceOptions {
   PipelineKind Pipeline = PipelineKind::New;
@@ -61,6 +64,15 @@ struct ServiceOptions {
   uint64_t MaxUnitMicros = 0;
   /// Interpreter step limit per executed function (bounds looping units).
   uint64_t ExecStepLimit = 4'000'000;
+  /// Collect per-phase timers and named counters across workers into the
+  /// report (BatchReport::PhaseTotals / Counters, and per-function
+  /// PipelineResult::Phases). Aggregation is deterministic: counters and
+  /// call counts are sums of per-unit values, snapshots are name-sorted.
+  bool CollectStats = false;
+  /// When non-null, every pipeline phase (and each whole unit) is emitted
+  /// as a Chrome trace event here, on the worker thread's track. The
+  /// writer must outlive run().
+  TraceWriter *Trace = nullptr;
 };
 
 /// Stateless-per-run batch compiler; one instance can serve many batches.
@@ -83,7 +95,8 @@ public:
   const ServiceOptions &options() const { return Opts; }
 
 private:
-  UnitReport compileUnit(const WorkUnit &Unit, unsigned Index) const;
+  UnitReport compileUnit(const WorkUnit &Unit, unsigned Index,
+                         StatsRegistry *Registry) const;
 
   ServiceOptions Opts;
   std::atomic<bool> CancelFlag{false};

@@ -1,0 +1,120 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/TraceWriter.h"
+
+#include <cstdio>
+
+using namespace fcc;
+
+void StatsRegistry::bump(const std::string &Counter, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Counter] += Delta;
+}
+
+void StatsRegistry::noteMax(const std::string &Counter, uint64_t Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t &Slot = Counters[Counter];
+  if (Value > Slot)
+    Slot = Value;
+}
+
+void StatsRegistry::recordPhase(const std::string &Phase, uint64_t Micros) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  PhaseAgg &Agg = Phases[Phase];
+  ++Agg.Calls;
+  Agg.Micros += Micros;
+}
+
+std::vector<CounterSnapshot> StatsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<CounterSnapshot> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, Value] : Counters)
+    Out.push_back({Name, Value});
+  return Out; // std::map iteration is already name-sorted.
+}
+
+std::vector<PhaseTotal> StatsRegistry::phases() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<PhaseTotal> Out;
+  Out.reserve(Phases.size());
+  for (const auto &[Name, Agg] : Phases)
+    Out.push_back({Name, Agg.Calls, Agg.Micros});
+  return Out;
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+  Phases.clear();
+}
+
+std::string fcc::renderStats(const std::vector<PhaseTotal> &Phases,
+                             const std::vector<CounterSnapshot> &Counters,
+                             bool IncludeTimings) {
+  std::string Out;
+  char Buf[160];
+  if (!Phases.empty()) {
+    if (IncludeTimings)
+      Out += "phase                            calls    total_us\n";
+    else
+      Out += "phase                            calls\n";
+    for (const PhaseTotal &P : Phases) {
+      if (IncludeTimings)
+        std::snprintf(Buf, sizeof(Buf), "%-30s %7llu %11llu\n",
+                      P.Name.c_str(),
+                      static_cast<unsigned long long>(P.Calls),
+                      static_cast<unsigned long long>(P.Micros));
+      else
+        std::snprintf(Buf, sizeof(Buf), "%-30s %7llu\n", P.Name.c_str(),
+                      static_cast<unsigned long long>(P.Calls));
+      Out += Buf;
+    }
+  }
+  if (!Counters.empty()) {
+    Out += "counter                                value\n";
+    for (const CounterSnapshot &C : Counters) {
+      std::snprintf(Buf, sizeof(Buf), "%-30s %13llu\n", C.Name.c_str(),
+                    static_cast<unsigned long long>(C.Value));
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+PhaseScope::PhaseScope(const Instrumentation *Instr, const char *Name,
+                       const char *Category,
+                       std::vector<PhaseSample> *Samples)
+    : Instr(Instr), Name(Name), Category(Category), Samples(Samples),
+      Active((Instr && Instr->active()) || Samples) {
+  if (!Active)
+    return;
+  if (Instr && Instr->Trace)
+    TraceStart = Instr->Trace->nowMicros();
+  Start = std::chrono::steady_clock::now();
+}
+
+PhaseScope::~PhaseScope() {
+  if (!Active)
+    return;
+  uint64_t Micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  if (Samples)
+    Samples->push_back({Name, Micros});
+  if (!Instr)
+    return;
+  if (Instr->Stats)
+    Instr->Stats->recordPhase(Name, Micros);
+  if (Instr->Trace) {
+    if (Instr->TraceBuf)
+      Instr->TraceBuf->push_back({Name, Category, TraceStart, Micros,
+                                  /*Tid=*/0, Instr->Unit, Instr->Function});
+    else
+      Instr->Trace->completeEvent(Name, Category, TraceStart, Micros,
+                                  Instr->Unit, Instr->Function);
+  }
+}

@@ -1,0 +1,138 @@
+//===- support/TraceWriter.cpp --------------------------------------------===//
+
+#include "support/TraceWriter.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace fcc;
+
+uint64_t TraceWriter::nowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void TraceWriter::completeEvent(const std::string &Name, const char *Category,
+                                uint64_t TsMicros, uint64_t DurMicros,
+                                const std::string &Unit,
+                                const std::string &Function) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  unsigned &Tid = ThreadIds
+                      .emplace(std::this_thread::get_id(),
+                               static_cast<unsigned>(ThreadIds.size()))
+                      .first->second;
+  Events.push_back({Name, Category, TsMicros, DurMicros, Tid, Unit, Function});
+}
+
+void TraceWriter::appendEvents(std::vector<TraceEvent> &&Batch) {
+  if (Batch.empty())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  unsigned &Tid = ThreadIds
+                      .emplace(std::this_thread::get_id(),
+                               static_cast<unsigned>(ThreadIds.size()))
+                      .first->second;
+  for (TraceEvent &E : Batch) {
+    E.Tid = Tid;
+    Events.push_back(std::move(E));
+  }
+  Batch.clear();
+}
+
+std::vector<TraceEvent> TraceWriter::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+size_t TraceWriter::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+std::string TraceWriter::toJson() const {
+  std::vector<TraceEvent> Snapshot = events();
+  std::string Out;
+  Out += "{\"traceEvents\":[";
+  for (size_t I = 0; I != Snapshot.size(); ++I) {
+    const TraceEvent &E = Snapshot[I];
+    if (I)
+      Out += ',';
+    Out += "{\"name\":";
+    appendEscaped(Out, E.Name);
+    Out += ",\"cat\":";
+    appendEscaped(Out, E.Category);
+    Out += ",\"ph\":\"X\",\"ts\":" + std::to_string(E.TsMicros) +
+           ",\"dur\":" + std::to_string(E.DurMicros) +
+           ",\"pid\":0,\"tid\":" + std::to_string(E.Tid);
+    if (!E.Unit.empty() || !E.Function.empty()) {
+      Out += ",\"args\":{";
+      if (!E.Unit.empty()) {
+        Out += "\"unit\":";
+        appendEscaped(Out, E.Unit);
+      }
+      if (!E.Function.empty()) {
+        if (!E.Unit.empty())
+          Out += ',';
+        Out += "\"function\":";
+        appendEscaped(Out, E.Function);
+      }
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+bool TraceWriter::writeFile(const std::string &Path,
+                            std::string &Error) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    Error = "cannot write " + Path;
+    return false;
+  }
+  Out << toJson() << '\n';
+  if (!Out) {
+    Error = "write failed for " + Path;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,185 @@
+//===- tests/support/StatsTest.cpp ----------------------------------------===//
+//
+// The observability substrate: counter/phase aggregation is name-sorted and
+// thread-safe, PhaseScope reports to every attached sink and stays inert
+// without one, and TraceWriter emits well-formed Chrome trace JSON with
+// per-thread track ids.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/ThreadPool.h"
+#include "support/TraceWriter.h"
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace fcc;
+
+namespace {
+
+TEST(StatsRegistryTest, CountersAccumulateAndSortByName) {
+  StatsRegistry Reg;
+  Reg.bump("zeta");
+  Reg.bump("alpha", 3);
+  Reg.bump("zeta", 2);
+  Reg.bump("mid", 0); // Zero-delta still creates the counter.
+
+  std::vector<CounterSnapshot> C = Reg.counters();
+  ASSERT_EQ(C.size(), 3u);
+  EXPECT_EQ(C[0].Name, "alpha");
+  EXPECT_EQ(C[0].Value, 3u);
+  EXPECT_EQ(C[1].Name, "mid");
+  EXPECT_EQ(C[1].Value, 0u);
+  EXPECT_EQ(C[2].Name, "zeta");
+  EXPECT_EQ(C[2].Value, 3u);
+}
+
+TEST(StatsRegistryTest, NoteMaxKeepsHighWaterMark) {
+  StatsRegistry Reg;
+  Reg.noteMax("peak", 10);
+  Reg.noteMax("peak", 4); // Lower value must not regress the mark.
+  Reg.noteMax("peak", 12);
+  EXPECT_EQ(Reg.counters()[0].Value, 12u);
+}
+
+TEST(StatsRegistryTest, PhasesAccumulateCallsAndMicros) {
+  StatsRegistry Reg;
+  Reg.recordPhase("walk", 10);
+  Reg.recordPhase("build", 5);
+  Reg.recordPhase("walk", 7);
+
+  std::vector<PhaseTotal> P = Reg.phases();
+  ASSERT_EQ(P.size(), 2u);
+  EXPECT_EQ(P[0].Name, "build");
+  EXPECT_EQ(P[0].Calls, 1u);
+  EXPECT_EQ(P[0].Micros, 5u);
+  EXPECT_EQ(P[1].Name, "walk");
+  EXPECT_EQ(P[1].Calls, 2u);
+  EXPECT_EQ(P[1].Micros, 17u);
+
+  Reg.clear();
+  EXPECT_TRUE(Reg.phases().empty());
+  EXPECT_TRUE(Reg.counters().empty());
+}
+
+TEST(StatsRegistryTest, ConcurrentBumpsSumExactly) {
+  StatsRegistry Reg;
+  constexpr unsigned Threads = 8, PerThread = 2000;
+  ThreadPool Pool(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.submit([&Reg] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        Reg.bump("hits");
+        Reg.recordPhase("phase", 1);
+      }
+    });
+  Pool.wait();
+  EXPECT_EQ(Reg.counters()[0].Value, Threads * PerThread);
+  EXPECT_EQ(Reg.phases()[0].Calls, Threads * PerThread);
+  EXPECT_EQ(Reg.phases()[0].Micros, Threads * PerThread);
+}
+
+TEST(StatsRegistryTest, RenderOmitsMicrosWithoutTimings) {
+  StatsRegistry Reg;
+  Reg.recordPhase("walk", 123);
+  Reg.bump("evictions", 4);
+
+  std::string Timed =
+      renderStats(Reg.phases(), Reg.counters(), /*IncludeTimings=*/true);
+  EXPECT_NE(Timed.find("total_us"), std::string::npos);
+  EXPECT_NE(Timed.find("123"), std::string::npos);
+
+  std::string Plain =
+      renderStats(Reg.phases(), Reg.counters(), /*IncludeTimings=*/false);
+  EXPECT_EQ(Plain.find("total_us"), std::string::npos);
+  EXPECT_EQ(Plain.find("123"), std::string::npos);
+  EXPECT_NE(Plain.find("walk"), std::string::npos);
+  EXPECT_NE(Plain.find("evictions"), std::string::npos);
+}
+
+TEST(PhaseScopeTest, ReportsToAllSinks) {
+  StatsRegistry Reg;
+  TraceWriter Trace;
+  Instrumentation Instr;
+  Instr.Stats = &Reg;
+  Instr.Trace = &Trace;
+  Instr.Unit = "u";
+  Instr.Function = "f";
+  std::vector<PhaseSample> Samples;
+  {
+    PhaseScope P(&Instr, "demo", "pipeline", &Samples);
+  }
+  ASSERT_EQ(Samples.size(), 1u);
+  EXPECT_STREQ(Samples[0].Name, "demo");
+  ASSERT_EQ(Reg.phases().size(), 1u);
+  EXPECT_EQ(Reg.phases()[0].Name, "demo");
+  ASSERT_EQ(Trace.eventCount(), 1u);
+  TraceEvent E = Trace.events()[0];
+  EXPECT_EQ(E.Name, "demo");
+  EXPECT_EQ(E.Category, "pipeline");
+  EXPECT_EQ(E.Unit, "u");
+  EXPECT_EQ(E.Function, "f");
+}
+
+TEST(PhaseScopeTest, InertWithoutSinks) {
+  {
+    PhaseScope P(nullptr, "demo", "pipeline");
+  }
+  Instrumentation Empty;
+  {
+    PhaseScope P(&Empty, "demo", "pipeline");
+  }
+  // Nothing to assert beyond "does not crash": no sink, no effect.
+  SUCCEED();
+}
+
+TEST(PhaseScopeTest, BuffersEventsWhenTraceBufSet) {
+  TraceWriter Trace;
+  Instrumentation Instr;
+  Instr.Trace = &Trace;
+  std::vector<TraceEvent> Buf;
+  Instr.TraceBuf = &Buf;
+  {
+    PhaseScope P(&Instr, "staged", "pipeline");
+  }
+  EXPECT_EQ(Trace.eventCount(), 0u); // Still staged locally.
+  ASSERT_EQ(Buf.size(), 1u);
+  Trace.appendEvents(std::move(Buf));
+  EXPECT_TRUE(Buf.empty());
+  ASSERT_EQ(Trace.eventCount(), 1u);
+  EXPECT_EQ(Trace.events()[0].Name, "staged");
+}
+
+TEST(TraceWriterTest, AssignsDenseThreadIds) {
+  TraceWriter Trace;
+  Trace.completeEvent("main-thread", "t", 0, 1);
+  std::thread([&Trace] { Trace.completeEvent("other-thread", "t", 1, 1); })
+      .join();
+  std::vector<TraceEvent> Events = Trace.events();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Tid, 0u);
+  EXPECT_EQ(Events[1].Tid, 1u);
+}
+
+TEST(TraceWriterTest, JsonHasChromeTraceShape) {
+  TraceWriter Trace;
+  Trace.completeEvent("phase \"a\"", "pipeline", 5, 7, "unit\\1", "f");
+  std::string Json = Trace.toJson();
+  EXPECT_EQ(Json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\":5"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":7"), std::string::npos);
+  EXPECT_NE(Json.find("\"phase \\\"a\\\"\""), std::string::npos);
+  EXPECT_NE(Json.find("\"unit\\\\1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TraceWriterTest, NowMicrosIsMonotonic) {
+  TraceWriter Trace;
+  uint64_t A = Trace.nowMicros();
+  uint64_t B = Trace.nowMicros();
+  EXPECT_LE(A, B);
+}
+
+} // namespace

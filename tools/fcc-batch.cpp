@@ -14,6 +14,10 @@
 //   --json=PATH         write the JSON report to PATH ('-' for stdout)
 //   --no-timings        deterministic report: omit timings and job count,
 //                       so reports from different --jobs compare equal
+//   --stats             aggregate per-phase timers and named counters
+//                       across workers and print them after the summary
+//   --trace=PATH        write a Chrome trace (chrome://tracing / Perfetto)
+//                       of every pipeline phase on every worker to PATH
 //   --check             validate each New-pipeline partition (checker)
 //   --run ARG,...       execute every function on the integer args
 //   --strict            insert entry initializations for non-strict inputs
@@ -27,11 +31,15 @@
 
 #include "service/CompilationService.h"
 #include "service/WorkUnit.h"
+#include "support/ArgParse.h"
+#include "support/TraceWriter.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,7 +53,9 @@ struct BatchOptions {
   unsigned GenerateCount = 0;
   uint64_t GenerateSeed = 1;
   std::string JsonPath;
+  std::string TracePath;
   bool IncludeTimings = true;
+  bool ShowStats = false;
   bool Quiet = false;
 };
 
@@ -54,18 +64,10 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
       "       [--jobs=N] [--generate=N[:SEED]] [--json=PATH] [--no-timings]\n"
-      "       [--check] [--run ARG,...] [--strict] [--max-instructions=N]\n"
-      "       [--time-budget-ms=N] [--quiet]\n",
+      "       [--stats] [--trace=PATH] [--check] [--run ARG,...] [--strict]\n"
+      "       [--max-instructions=N] [--time-budget-ms=N] [--quiet]\n",
       Argv0);
   return 2;
-}
-
-bool parseUnsigned(const std::string &Text, uint64_t &Out) {
-  if (Text.empty())
-    return false;
-  char *End = nullptr;
-  Out = std::strtoull(Text.c_str(), &End, 10);
-  return End && *End == '\0';
 }
 
 bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
@@ -87,7 +89,11 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
         return false;
       }
     } else if (Arg.rfind("--jobs=", 0) == 0) {
-      if (!parseUnsigned(Arg.substr(7), Value)) {
+      // parseUint64Arg rejects a sign outright, so --jobs=-1 can never wrap
+      // into a huge thread count; the explicit range check keeps the later
+      // static_cast<unsigned> lossless.
+      if (!parseUint64Arg(Arg.substr(7), Value) ||
+          Value > std::numeric_limits<unsigned>::max()) {
         std::fprintf(stderr, "bad --jobs value in '%s'\n", Arg.c_str());
         return false;
       }
@@ -98,20 +104,26 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
       size_t Colon = Spec.find(':');
       if (Colon != std::string::npos) {
         CountPart = Spec.substr(0, Colon);
-        if (!parseUnsigned(Spec.substr(Colon + 1), Opts.GenerateSeed)) {
+        if (!parseUint64Arg(Spec.substr(Colon + 1), Opts.GenerateSeed)) {
           std::fprintf(stderr, "bad --generate seed in '%s'\n", Arg.c_str());
           return false;
         }
       }
-      if (!parseUnsigned(CountPart, Value)) {
+      if (!parseUint64Arg(CountPart, Value) ||
+          Value > std::numeric_limits<unsigned>::max()) {
         std::fprintf(stderr, "bad --generate count in '%s'\n", Arg.c_str());
         return false;
       }
       Opts.GenerateCount = static_cast<unsigned>(Value);
     } else if (Arg.rfind("--json=", 0) == 0) {
       Opts.JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Opts.TracePath = Arg.substr(std::strlen("--trace="));
     } else if (Arg == "--no-timings") {
       Opts.IncludeTimings = false;
+    } else if (Arg == "--stats") {
+      Opts.ShowStats = true;
+      Opts.Service.CollectStats = true;
     } else if (Arg == "--check") {
       Opts.Service.CheckPartition = true;
     } else if (Arg == "--strict") {
@@ -119,32 +131,34 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (Arg.rfind("--max-instructions=", 0) == 0) {
-      if (!parseUnsigned(Arg.substr(std::strlen("--max-instructions=")),
-                         Value)) {
+      if (!parseUint64Arg(Arg.substr(std::strlen("--max-instructions=")),
+                          Value) ||
+          Value > std::numeric_limits<unsigned>::max()) {
         std::fprintf(stderr, "bad value in '%s'\n", Arg.c_str());
         return false;
       }
       Opts.Service.MaxUnitInstructions = static_cast<unsigned>(Value);
     } else if (Arg.rfind("--time-budget-ms=", 0) == 0) {
-      if (!parseUnsigned(Arg.substr(std::strlen("--time-budget-ms=")),
-                         Value)) {
+      if (!parseUint64Arg(Arg.substr(std::strlen("--time-budget-ms=")),
+                          Value)) {
         std::fprintf(stderr, "bad value in '%s'\n", Arg.c_str());
         return false;
       }
       Opts.Service.MaxUnitMicros = Value * 1000;
     } else if (Arg == "--run") {
       Opts.Service.Execute = true;
-      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+      // The next argument is the comma-separated list when it is not a
+      // flag; a leading '-' followed by a digit is a negative value, not a
+      // flag.
+      if (I + 1 < Argc &&
+          (Argv[I + 1][0] != '-' ||
+           std::isdigit(static_cast<unsigned char>(Argv[I + 1][1])))) {
         std::string Args = Argv[++I];
-        size_t Pos = 0;
-        while (Pos < Args.size()) {
-          size_t Comma = Args.find(',', Pos);
-          if (Comma == std::string::npos)
-            Comma = Args.size();
-          Opts.Service.ExecArgs.push_back(
-              std::strtoll(Args.substr(Pos, Comma - Pos).c_str(), nullptr,
-                           10));
-          Pos = Comma + 1;
+        std::string BadToken;
+        if (!splitIntList(Args, Opts.Service.ExecArgs, BadToken)) {
+          std::fprintf(stderr, "bad --run argument '%s'\n",
+                       BadToken.c_str());
+          return false;
         }
       }
     } else if (!Arg.empty() && Arg[0] != '-') {
@@ -188,8 +202,20 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  TraceWriter Trace;
+  if (!Opts.TracePath.empty())
+    Opts.Service.Trace = &Trace;
+
   CompilationService Service(Opts.Service);
   BatchReport Report = Service.run(Units);
+
+  if (!Opts.TracePath.empty()) {
+    std::string TraceError;
+    if (!Trace.writeFile(Opts.TracePath, TraceError)) {
+      std::fprintf(stderr, "%s\n", TraceError.c_str());
+      return 2;
+    }
+  }
 
   if (!Opts.JsonPath.empty()) {
     std::string Json = Report.toJson(Opts.IncludeTimings);
@@ -208,6 +234,8 @@ int main(int Argc, char **Argv) {
 
   if (!Opts.Quiet)
     std::fputs(Report.summary().c_str(), stdout);
+  if (Opts.ShowStats)
+    std::fputs(Report.statsText(Opts.IncludeTimings).c_str(), stdout);
 
   return Report.totals().Failed == 0 ? 0 : 1;
 }

@@ -15,7 +15,9 @@
 //   --check           validate the coalescer's partition with the
 //                     independent CoalescingChecker (new pipeline)
 //   --trace           narrate the coalescer's decisions (new pipeline)
-//   --stats           print per-function statistics
+//   --trace=PATH      write a Chrome trace (chrome://tracing / Perfetto)
+//                     of every pipeline phase to PATH
+//   --stats           print per-function and per-phase statistics
 //   --run ARGS...     execute each function on the integer ARGS
 //
 //===----------------------------------------------------------------------===//
@@ -35,6 +37,9 @@
 #include "opt/DeadCodeElim.h"
 #include "pipeline/Pipeline.h"
 #include "ssa/SSABuilder.h"
+#include "support/ArgParse.h"
+#include "support/Stats.h"
+#include "support/TraceWriter.h"
 
 #include <cstdio>
 #include <cstring>
@@ -60,6 +65,7 @@ struct DriverOptions {
   bool Trace = false;
   bool Stats = false;
   bool Execute = false;
+  std::string TracePath;
   std::vector<int64_t> RunArgs;
 };
 
@@ -67,7 +73,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s FILE.ir [--pipeline=new|standard|briggs|briggs*]\n"
                "       [--ssa-only] [--no-fold] [--copyprop] [--dce] "
-               "[--strict] [--check] [--trace] [--stats]\n"
+               "[--strict] [--check] [--trace] [--trace=PATH] [--stats]\n"
                "       [--run ARGS...]\n",
                Argv0);
   return 2;
@@ -90,6 +96,8 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       Opts.Check = true;
     else if (Arg == "--trace")
       Opts.Trace = true;
+    else if (Arg.rfind("--trace=", 0) == 0)
+      Opts.TracePath = Arg.substr(std::strlen("--trace="));
     else if (Arg == "--stats")
       Opts.Stats = true;
     else if (Arg.rfind("--pipeline=", 0) == 0) {
@@ -108,8 +116,14 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
       }
     } else if (Arg == "--run") {
       Opts.Execute = true;
-      for (++I; I < Argc; ++I)
-        Opts.RunArgs.push_back(std::strtoll(Argv[I], nullptr, 10));
+      for (++I; I < Argc; ++I) {
+        int64_t Value = 0;
+        if (!parseInt64Arg(Argv[I], Value)) {
+          std::fprintf(stderr, "bad --run argument '%s'\n", Argv[I]);
+          return false;
+        }
+        Opts.RunArgs.push_back(Value);
+      }
     } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
       Opts.InputPath = Arg;
     } else {
@@ -147,6 +161,20 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s: %s\n", Opts.InputPath.c_str(), Error.c_str());
     return 1;
   }
+
+  // Observability sinks: a stats registry behind --stats, a Chrome-trace
+  // writer behind --trace=PATH. Either one instruments the pipeline runs.
+  std::optional<StatsRegistry> Registry;
+  if (Opts.Stats)
+    Registry.emplace();
+  std::optional<TraceWriter> TraceJson;
+  if (!Opts.TracePath.empty())
+    TraceJson.emplace();
+  Instrumentation Instr;
+  Instr.Stats = Registry ? &*Registry : nullptr;
+  Instr.Trace = TraceJson ? &*TraceJson : nullptr;
+  Instr.Unit = Opts.InputPath;
+  const bool Observe = Instr.active();
 
   for (const auto &FPtr : M->functions()) {
     Function &F = *FPtr;
@@ -187,6 +215,8 @@ int main(int Argc, char **Argv) {
       FastCoalescerOptions Coalesce;
       if (Opts.Trace)
         Coalesce.Trace = stderr;
+      Instr.Function = F.name();
+      Coalesce.Instr = Observe ? &Instr : nullptr;
       FastCoalescer Coalescer(F, DT, LV, Coalesce);
       Coalescer.computePartition();
       if (Opts.Check) {
@@ -203,14 +233,24 @@ int main(int Argc, char **Argv) {
       }
       Coalescer.rewrite();
     } else {
-      PipelineResult Result = runPipeline(F, *Opts.Pipeline);
-      if (Opts.Stats)
+      Instr.Function = F.name();
+      PipelineResult Result =
+          runPipeline(F, *Opts.Pipeline, Observe ? &Instr : nullptr);
+      if (Opts.Stats) {
         std::printf("; @%s (%s): %u us, %u phis, %u copies left, peak %zu "
                     "bytes\n",
                     F.name().c_str(), pipelineName(*Opts.Pipeline),
                     static_cast<unsigned>(Result.TimeMicros),
                     Result.PhisInserted, Result.StaticCopies,
                     Result.PeakBytes);
+        if (!Result.Phases.empty()) {
+          std::printf(";   phases:");
+          for (const PhaseSample &P : Result.Phases)
+            std::printf(" %s %lluus", P.Name,
+                        static_cast<unsigned long long>(P.Micros));
+          std::printf("\n");
+        }
+      }
     }
 
     if (Opts.CopyProp) {
@@ -245,6 +285,26 @@ int main(int Argc, char **Argv) {
                     static_cast<unsigned long long>(R.InstructionsExecuted),
                     static_cast<unsigned long long>(R.CopiesExecuted));
       }
+    }
+  }
+
+  if (Registry) {
+    // The aggregated tables, as IR comments so the output stays parseable.
+    std::string Tables =
+        renderStats(Registry->phases(), Registry->counters(),
+                    /*IncludeTimings=*/true);
+    size_t Pos = 0;
+    while (Pos < Tables.size()) {
+      size_t Eol = Tables.find('\n', Pos);
+      std::printf("; %.*s\n", static_cast<int>(Eol - Pos), &Tables[Pos]);
+      Pos = Eol + 1;
+    }
+  }
+  if (TraceJson) {
+    std::string TraceError;
+    if (!TraceJson->writeFile(Opts.TracePath, TraceError)) {
+      std::fprintf(stderr, "%s\n", TraceError.c_str());
+      return 1;
     }
   }
   return 0;
