@@ -603,6 +603,14 @@ FastCoalesceStats FastCoalescer::rewrite() {
       continue;
     SequencedCopies Seq =
         sequentializeParallelCopy(Waiting[Id], F, TempCounter);
+#ifdef FCC_FUZZ_PLANT_BUG
+    // Deliberate off-by-one for the fuzzing acceptance test (the fcc_planted
+    // library only): drop the last sequenced copy of every parallel-copy
+    // group. The partition audit runs before this point, so only the
+    // differential oracle's dynamic comparison can catch it.
+    if (!Seq.Insts.empty())
+      Seq.Insts.pop_back();
+#endif
     Stats.CopiesInserted += static_cast<unsigned>(Seq.Insts.size());
     Stats.TempsUsed += Seq.TempsUsed;
     BasicBlock *Pred = F.block(Id);

@@ -1,0 +1,407 @@
+//===- fuzz/DifferentialOracle.cpp ----------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "baseline/ChaitinBriggsCoalescer.h"
+#include "coalesce/CoalescingChecker.h"
+#include "coalesce/FastCoalescer.h"
+#include "interp/Interpreter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Module.h"
+#include "ir/Variable.h"
+#include "ir/Verifier.h"
+#include "regalloc/GraphColoringAllocator.h"
+#include "ssa/SSABuilder.h"
+#include "ssa/StandardDestruction.h"
+#include "support/SplitMix64.h"
+
+#include <exception>
+#include <limits>
+#include <optional>
+
+using namespace fcc;
+
+namespace {
+
+/// How a configuration takes the function out of SSA form.
+enum class DestructKind {
+  Standard,    ///< Naive phi instantiation (Briggs et al.).
+  Fast,        ///< The paper's dominance-forest coalescer.
+  FastChecked, ///< Fast, with the CoalescingChecker audit before rewrite.
+  Briggs,      ///< Interference-graph build/coalesce loop.
+  BriggsStar,  ///< Briggs with copy-involved-only rebuilds.
+};
+
+struct OracleConfig {
+  const char *Name;
+  SSAFlavor Flavor;
+  bool Fold;
+  DestructKind Destruct;
+};
+
+/// Every SSA flavor appears with folding so the fast coalescer's deleted-
+/// copy reconstruction is exercised per flavor; the no-fold group adds the
+/// two graph baselines, which the paper only defines over unfolded SSA
+/// (phi webs as live ranges). Each fold group pairs Fast with Standard so
+/// the static copy invariant has a config-matched baseline.
+constexpr OracleConfig Configs[] = {
+    {"minimal+fold/fast", SSAFlavor::Minimal, true, DestructKind::Fast},
+    {"minimal+fold/standard", SSAFlavor::Minimal, true,
+     DestructKind::Standard},
+    {"semi+fold/fast", SSAFlavor::SemiPruned, true, DestructKind::Fast},
+    {"semi+fold/standard", SSAFlavor::SemiPruned, true,
+     DestructKind::Standard},
+    {"pruned+fold/fast-checked", SSAFlavor::Pruned, true,
+     DestructKind::FastChecked},
+    {"pruned+fold/standard", SSAFlavor::Pruned, true, DestructKind::Standard},
+    {"pruned+nofold/fast", SSAFlavor::Pruned, false, DestructKind::Fast},
+    {"pruned+nofold/standard", SSAFlavor::Pruned, false,
+     DestructKind::Standard},
+    {"pruned+nofold/briggs", SSAFlavor::Pruned, false, DestructKind::Briggs},
+    {"pruned+nofold/briggs*", SSAFlavor::Pruned, false,
+     DestructKind::BriggsStar},
+};
+constexpr unsigned NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+
+bool isFastKind(DestructKind K) {
+  return K == DestructKind::Fast || K == DestructKind::FastChecked;
+}
+
+/// The seeded argument vectors one function is executed on: all-zeros plus
+/// Opts.ArgVectors vectors mixing small branch-steering values with larger
+/// magnitudes (wraparound and memory-index coverage).
+std::vector<std::vector<int64_t>> argVectors(unsigned NumParams,
+                                             unsigned FuncIndex,
+                                             const OracleOptions &Opts) {
+  std::vector<std::vector<int64_t>> Sets;
+  Sets.emplace_back(NumParams, 0);
+  SplitMix64 Rng(Opts.ArgSeed + 0x9e3779b97f4a7c15ull * (FuncIndex + 1));
+  for (unsigned V = 0; V != Opts.ArgVectors; ++V) {
+    std::vector<int64_t> Args;
+    Args.reserve(NumParams);
+    for (unsigned P = 0; P != NumParams; ++P)
+      Args.push_back(Rng.chancePercent(25) ? Rng.nextInRange(-1000, 1000)
+                                           : Rng.nextInRange(-4, 9));
+    Sets.push_back(std::move(Args));
+  }
+  return Sets;
+}
+
+std::string formatArgs(const std::vector<int64_t> &Args) {
+  std::string Out = "[";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(Args[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+/// Transforms \p F under \p C. Returns false (with \p Error filled) only
+/// for a checker refutation; structural problems surface via the caller's
+/// re-verification, crashes via the caller's catch.
+bool runConfig(Function &F, const OracleConfig &C, std::string &Error) {
+  splitCriticalEdges(F);
+  DominatorTree DT(F);
+  SSABuildOptions Build;
+  Build.Flavor = C.Flavor;
+  Build.FoldCopies = C.Fold;
+  buildSSA(F, DT, Build);
+
+  switch (C.Destruct) {
+  case DestructKind::Standard:
+    destroySSAStandard(F);
+    return true;
+  case DestructKind::Fast:
+  case DestructKind::FastChecked: {
+    Liveness LV(F);
+    FastCoalescer Coalescer(F, DT, LV);
+    Coalescer.computePartition();
+    if (C.Destruct == DestructKind::FastChecked &&
+        !checkCoalescing(
+            F, LV, [&](const Variable *V) { return Coalescer.rep(V); },
+            Error))
+      return false;
+    Coalescer.rewrite();
+    return true;
+  }
+  case DestructKind::Briggs:
+  case DestructKind::BriggsStar: {
+    identifyLiveRangeWebs(F);
+    BriggsOptions BO;
+    BO.Improved = C.Destruct == DestructKind::BriggsStar;
+    coalesceCopiesBriggs(F, BO);
+    return true;
+  }
+  }
+  return true;
+}
+
+/// Validates \p Alloc against liveness computed from scratch: walking each
+/// block backward from its live-out set, no two simultaneously-live
+/// variables may occupy the same register. Returns false with \p Error set
+/// to the offending pair.
+bool checkAllocation(const Function &F, const RegAllocResult &Alloc,
+                     std::string &Error) {
+  Liveness LV(F);
+  unsigned NumVars = F.numVariables();
+  auto RegOf = [&](unsigned Id) -> int {
+    return Id < Alloc.RegisterOf.size() ? Alloc.RegisterOf[Id] : -1;
+  };
+  std::vector<bool> Live(NumVars, false);
+  // Owner of each register among currently-live variables; sized lazily.
+  std::vector<int> Owner;
+  auto Clash = [&](unsigned Id) -> bool {
+    int R = RegOf(Id);
+    if (R < 0)
+      return false;
+    if (static_cast<size_t>(R) >= Owner.size())
+      Owner.resize(R + 1, -1);
+    if (Owner[R] >= 0 && Owner[R] != static_cast<int>(Id)) {
+      Error = "register r" + std::to_string(R) + " held by both %" +
+              F.variable(Owner[R])->name() + " and %" +
+              F.variable(Id)->name();
+      return true;
+    }
+    Owner[R] = static_cast<int>(Id);
+    return false;
+  };
+  auto Release = [&](unsigned Id) {
+    int R = RegOf(Id);
+    if (R >= 0 && static_cast<size_t>(R) < Owner.size() &&
+        Owner[R] == static_cast<int>(Id))
+      Owner[R] = -1;
+  };
+
+  for (const auto &B : F.blocks()) {
+    std::fill(Live.begin(), Live.end(), false);
+    Owner.assign(Owner.size(), -1);
+    for (unsigned Id = 0; Id != NumVars; ++Id)
+      if (LV.isLiveOut(B.get(), F.variable(Id))) {
+        Live[Id] = true;
+        if (Clash(Id))
+          return false;
+      }
+    const auto &Insts = B->insts();
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      const Instruction &I = **It;
+      if (const Variable *Def = I.getDef()) {
+        if (Live[Def->id()]) {
+          Live[Def->id()] = false;
+          Release(Def->id());
+        }
+      }
+      bool Bad = false;
+      I.forEachUsedVar([&](const Variable *V) {
+        if (!Bad && !Live[V->id()]) {
+          Live[V->id()] = true;
+          Bad = Clash(V->id());
+        }
+      });
+      if (Bad)
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Compares one rewritten function against the reference results. Appends
+/// at most one ExecMismatch divergence (the first offending vector).
+void compareExecutions(const Function &Rewritten,
+                       const std::vector<std::vector<int64_t>> &Vectors,
+                       const std::vector<ExecutionResult> &Reference,
+                       const OracleOptions &Opts, const std::string &Config,
+                       std::vector<Divergence> &Out) {
+  // Conversion changes the executed instruction count (naive destruction
+  // of minimal SSA can multiply copies well past any fixed factor in tight
+  // loops), so rewritten code gets a budget scaled from the reference
+  // run's actual length: a legitimate completion always still completes,
+  // and a reference non-completion stays incomparable (skipped).
+  for (size_t V = 0; V != Vectors.size(); ++V) {
+    const ExecutionResult &Ref = Reference[V];
+    if (!Ref.Completed)
+      continue;
+    Interpreter Interp(Opts.MemoryWords,
+                       Ref.InstructionsExecuted * 64 + 10'000);
+    ExecutionResult Got = Interp.run(Rewritten, Vectors[V]);
+    std::string Prefix = "args " + formatArgs(Vectors[V]) + ": ";
+    if (!Got.Completed) {
+      Out.push_back({DivergenceKind::ExecMismatch, Config,
+                     Prefix + "rewritten code hit the step limit; the "
+                              "reference completed"});
+      return;
+    }
+    if (Got.ReturnValue != Ref.ReturnValue) {
+      Out.push_back({DivergenceKind::ExecMismatch, Config,
+                     Prefix + "return " + std::to_string(Got.ReturnValue) +
+                         " != " + std::to_string(Ref.ReturnValue)});
+      return;
+    }
+    for (size_t W = 0; W != Ref.FinalMemory.size(); ++W) {
+      if (Got.FinalMemory[W] != Ref.FinalMemory[W]) {
+        Out.push_back({DivergenceKind::ExecMismatch, Config,
+                       Prefix + "mem[" + std::to_string(W) + "] " +
+                           std::to_string(Got.FinalMemory[W]) + " != " +
+                           std::to_string(Ref.FinalMemory[W])});
+        return;
+      }
+    }
+  }
+}
+
+} // namespace
+
+const char *fcc::divergenceKindName(DivergenceKind Kind) {
+  switch (Kind) {
+  case DivergenceKind::VerifyFail:
+    return "verify-fail";
+  case DivergenceKind::CheckRefuted:
+    return "check-refuted";
+  case DivergenceKind::ExecMismatch:
+    return "exec-mismatch";
+  case DivergenceKind::CopyRegression:
+    return "copy-regression";
+  case DivergenceKind::AllocUnsound:
+    return "alloc-unsound";
+  case DivergenceKind::InternalError:
+    return "internal-error";
+  }
+  return "<invalid>";
+}
+
+std::vector<std::string> fcc::oracleConfigNames() {
+  std::vector<std::string> Names;
+  for (const OracleConfig &C : Configs)
+    Names.push_back(C.Name);
+  return Names;
+}
+
+OracleResult fcc::runDifferentialOracle(const std::string &IrText,
+                                        const OracleOptions &Opts) {
+  OracleResult Result;
+
+  // Reference module: validate the input and record per-function behaviour.
+  std::unique_ptr<Module> RefM = parseModule(IrText, Result.InputError);
+  if (!RefM)
+    return Result;
+  if (RefM->functions().empty()) {
+    Result.InputError = "module has no functions";
+    return Result;
+  }
+  unsigned NumFuncs = RefM->size();
+  std::vector<std::vector<std::vector<int64_t>>> Vectors(NumFuncs);
+  std::vector<std::vector<ExecutionResult>> Reference(NumFuncs);
+  Interpreter RefInterp(Opts.MemoryWords, Opts.StepLimit);
+  for (unsigned FI = 0; FI != NumFuncs; ++FI) {
+    const Function &F = *RefM->functions()[FI];
+    std::string Error;
+    if (!verifyFunction(F, Error)) {
+      Result.InputError = "@" + F.name() + ": " + Error;
+      return Result;
+    }
+    if (!isStrict(F)) {
+      Result.InputError = "@" + F.name() + " is not strict";
+      return Result;
+    }
+    Vectors[FI] =
+        argVectors(static_cast<unsigned>(F.params().size()), FI, Opts);
+    for (const auto &Args : Vectors[FI])
+      Reference[FI].push_back(RefInterp.run(F, Args));
+  }
+  Result.InputOk = true;
+
+  // Static copy counts per (function, config), for the invariant check.
+  constexpr unsigned NoCount = std::numeric_limits<unsigned>::max();
+  std::vector<std::vector<unsigned>> Copies(
+      NumFuncs, std::vector<unsigned>(NumConfigs, NoCount));
+
+  for (unsigned CI = 0; CI != NumConfigs; ++CI) {
+    const OracleConfig &C = Configs[CI];
+    ++Result.ConfigsRun;
+    std::string ParseError;
+    std::unique_ptr<Module> M = parseModule(IrText, ParseError);
+    // The text parsed once already; a failure here is a parser bug.
+    if (!M) {
+      Result.Divergences.push_back({DivergenceKind::InternalError, C.Name,
+                                    "re-parse failed: " + ParseError});
+      continue;
+    }
+    for (unsigned FI = 0; FI != NumFuncs; ++FI) {
+      Function &F = *M->functions()[FI];
+      std::string Config = "@" + F.name() + " " + C.Name;
+      std::string Error;
+      try {
+        if (!runConfig(F, C, Error)) {
+          Result.Divergences.push_back(
+              {DivergenceKind::CheckRefuted, Config, Error});
+          continue;
+        }
+      } catch (const std::exception &E) {
+        Result.Divergences.push_back(
+            {DivergenceKind::InternalError, Config, E.what()});
+        continue;
+      } catch (...) {
+        Result.Divergences.push_back(
+            {DivergenceKind::InternalError, Config, "unknown exception"});
+        continue;
+      }
+      if (!verifyFunction(F, Error)) {
+        Result.Divergences.push_back(
+            {DivergenceKind::VerifyFail, Config, Error});
+        continue;
+      }
+      Copies[FI][CI] = F.staticCopyCount();
+      compareExecutions(F, Vectors[FI], Reference[FI], Opts, Config,
+                        Result.Divergences);
+
+      // The regalloc path: color the paper-pipeline output and re-derive
+      // interference freedom from scratch liveness.
+      if (C.Destruct == DestructKind::FastChecked && Opts.Registers != 0) {
+        ++Result.ConfigsRun;
+        RegAllocOptions RO;
+        RO.NumRegisters = Opts.Registers;
+        try {
+          RegAllocResult Alloc = allocateRegisters(F, RO);
+          if (!checkAllocation(F, Alloc, Error))
+            Result.Divergences.push_back(
+                {DivergenceKind::AllocUnsound, Config + "/regalloc", Error});
+        } catch (const std::exception &E) {
+          Result.Divergences.push_back({DivergenceKind::InternalError,
+                                        Config + "/regalloc", E.what()});
+        }
+      }
+    }
+  }
+
+  // Static invariant: within each (flavor, fold) group the fast coalescer
+  // must not leave more copies than naive destruction — it only removes
+  // copies the standard scheme would insert.
+  for (unsigned FI = 0; FI != NumFuncs; ++FI) {
+    for (unsigned A = 0; A != NumConfigs; ++A) {
+      if (!isFastKind(Configs[A].Destruct) || Copies[FI][A] == NoCount)
+        continue;
+      for (unsigned B = 0; B != NumConfigs; ++B) {
+        if (Configs[B].Destruct != DestructKind::Standard ||
+            Configs[B].Flavor != Configs[A].Flavor ||
+            Configs[B].Fold != Configs[A].Fold || Copies[FI][B] == NoCount)
+          continue;
+        if (Copies[FI][A] > Copies[FI][B]) {
+          const std::string &Name = RefM->functions()[FI]->name();
+          Result.Divergences.push_back(
+              {DivergenceKind::CopyRegression,
+               "@" + Name + " " + Configs[A].Name,
+               "fast coalescing left " + std::to_string(Copies[FI][A]) +
+                   " copies; " + Configs[B].Name + " leaves only " +
+                   std::to_string(Copies[FI][B])});
+        }
+      }
+    }
+  }
+  return Result;
+}

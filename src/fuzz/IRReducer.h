@@ -1,0 +1,60 @@
+//===- fuzz/IRReducer.h - Delta-debugging testcase reduction ----*- C++ -*-===//
+///
+/// \file
+/// Shrinks a failing textual-IR module to a minimal reproducer. The reducer
+/// owns the mutation strategies — collapsing conditional branches (and
+/// dropping the blocks that become unreachable), deleting statements, and
+/// halving immediates (which lowers loop trip counts) — while the caller
+/// owns the failure predicate, typically "the DifferentialOracle still
+/// reports a divergence". Candidates that no longer verify or are no longer
+/// strict are rejected by the predicate itself (the oracle reports them as
+/// invalid input), so the reducer stays oblivious to validity rules.
+///
+/// Reduction is greedy first-improvement with bounded rounds: each strategy
+/// sweeps the current best candidate linearly, keeps every mutation that
+/// still fails, and the round loop repeats until a full round makes no
+/// progress. Deterministic: same input, predicate and options — same output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_FUZZ_IRREDUCER_H
+#define FCC_FUZZ_IRREDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace fcc {
+
+/// Returns true when the candidate module still exhibits the failure.
+using ReducerPredicate = std::function<bool(const std::string &IrText)>;
+
+/// Bounds for one reduction.
+struct ReducerOptions {
+  /// Full strategy rounds before giving up on further progress.
+  unsigned MaxRounds = 8;
+  /// Total predicate evaluations across all rounds.
+  unsigned MaxCandidates = 20'000;
+};
+
+/// Outcome counters for one reduction.
+struct ReductionStats {
+  unsigned Rounds = 0;
+  unsigned CandidatesTried = 0;
+  unsigned BlocksBefore = 0;
+  unsigned BlocksAfter = 0;
+  unsigned InstsBefore = 0;
+  unsigned InstsAfter = 0;
+};
+
+/// Shrinks \p IrText while \p StillFails holds. \p IrText itself must
+/// satisfy the predicate (asserted); the result always does. Functions
+/// containing phis only receive statement deletion and immediate lowering
+/// (branch rewiring would desynchronize phi operands from predecessors).
+std::string reduceIr(const std::string &IrText,
+                     const ReducerPredicate &StillFails,
+                     ReductionStats &Stats,
+                     const ReducerOptions &Opts = {});
+
+} // namespace fcc
+
+#endif // FCC_FUZZ_IRREDUCER_H

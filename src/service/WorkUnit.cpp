@@ -56,7 +56,11 @@ bool fcc::collectUnits(const std::string &Path, std::vector<WorkUnit> &Units,
       Error = "error walking " + Path + ": " + Ec.message();
       return false;
     }
-    if (It->is_regular_file(Ec) && It->path().extension() == ".ir")
+    // .ir is the hand-written corpus; .fcc is the extension fcc-fuzz gives
+    // reduced reproducers, so a finding replays in bulk by pointing
+    // fcc-batch at the fuzzer's output directory.
+    if (It->is_regular_file(Ec) && (It->path().extension() == ".ir" ||
+                                    It->path().extension() == ".fcc"))
       Files.push_back(It->path().string());
   }
   // Directory iteration order is filesystem-dependent; the report keys on

@@ -42,7 +42,8 @@ struct WorkUnit {
 };
 
 /// Expands \p Path into work units: a regular file becomes one unit, a
-/// directory is scanned recursively for `*.ir` files (sorted by path, so
+/// directory is scanned recursively for `*.ir` and `*.fcc` files (fcc-fuzz
+/// reproducers; the IR dialect is identical — sorted by path, so
 /// the unit order — and therefore the report — is deterministic). Returns
 /// false and fills \p Error when the path does not exist or a directory
 /// walk fails; an empty directory is not an error.

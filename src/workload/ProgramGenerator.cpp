@@ -229,3 +229,37 @@ Function *fcc::generateProgram(Module &M, const std::string &Name,
   }
   return F;
 }
+
+GeneratorOptions fcc::fuzzerOptionsForRun(uint64_t MasterSeed,
+                                          unsigned RunIndex) {
+  // One private stream per run: the knobs (and the program seed itself)
+  // depend only on (MasterSeed, RunIndex), never on scheduling.
+  SplitMix64 Rng(MasterSeed ^ (0x9e3779b97f4a7c15ull * (RunIndex + 1)));
+  GeneratorOptions Opts;
+  Opts.Seed = Rng.next();
+  Opts.SizeBudget = 4 + static_cast<unsigned>(Rng.nextBelow(33));  // 4..36
+  Opts.NumParams = static_cast<unsigned>(Rng.nextBelow(5));        // 0..4
+  Opts.NumVars =
+      Opts.NumParams + 2 + static_cast<unsigned>(Rng.nextBelow(13));
+  Opts.MaxLoopDepth = 1 + static_cast<unsigned>(Rng.nextBelow(4)); // 1..4
+  Opts.LoopTripMax = 1 + static_cast<unsigned>(Rng.nextBelow(7));  // 1..7
+  Opts.CopyPercent = 10 + static_cast<unsigned>(Rng.nextBelow(41)); // 10..50
+  Opts.MemPercent = static_cast<unsigned>(Rng.nextBelow(31));       // 0..30
+  Opts.RunLength = 2 + static_cast<unsigned>(Rng.nextBelow(5));     // 2..6
+  return Opts;
+}
+
+std::vector<GeneratorOptions> fcc::shrinkLadder(const GeneratorOptions &Opts) {
+  std::vector<GeneratorOptions> Ladder;
+  GeneratorOptions Cur = Opts;
+  while (Cur.SizeBudget > 2 || Cur.LoopTripMax > 1 || Cur.MaxLoopDepth > 1) {
+    Cur.SizeBudget = Cur.SizeBudget > 2 ? Cur.SizeBudget / 2 : 2;
+    Cur.LoopTripMax = Cur.LoopTripMax > 1 ? Cur.LoopTripMax / 2 : 1;
+    if (Cur.MaxLoopDepth > 1)
+      --Cur.MaxLoopDepth;
+    if (Cur.NumVars > Cur.NumParams + 3)
+      Cur.NumVars = (Cur.NumVars + Cur.NumParams + 3) / 2;
+    Ladder.push_back(Cur);
+  }
+  return Ladder;
+}

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fcc {
 
@@ -44,6 +45,21 @@ struct GeneratorOptions {
 /// terminates on every input within a bounded step count.
 Function *generateProgram(Module &M, const std::string &Name,
                           const GeneratorOptions &Opts);
+
+/// Derives the generator knobs for run \p RunIndex of a fuzzing campaign
+/// seeded with \p MasterSeed: every knob (CFG size, variable pool, param
+/// count, copy/memory density, loop shape) is varied deterministically so a
+/// campaign sweeps a diverse program space while any single run can be
+/// regenerated bit-for-bit from (MasterSeed, RunIndex) alone.
+GeneratorOptions fuzzerOptionsForRun(uint64_t MasterSeed, unsigned RunIndex);
+
+/// The regeneration ladder the testcase reducer starts from: progressively
+/// smaller variants of \p Opts (halved size budget, fewer variables,
+/// shallower loops, lower trip counts) with the same seed, ordered largest
+/// to smallest. Regenerating from a smaller rung is a much coarser — and
+/// much cheaper — shrink than instruction-level reduction, so the reducer
+/// tries these first.
+std::vector<GeneratorOptions> shrinkLadder(const GeneratorOptions &Opts);
 
 } // namespace fcc
 

@@ -1,0 +1,66 @@
+//===- tests/fuzz/FuzzerDeterminismTest.cpp -------------------------------===//
+//
+// The fuzz driver's contract: a campaign's report — including its JSON
+// serialization — depends only on (seed, runs), never on the job count.
+// The fcc-fuzz CLI determinism smoke check rests on these properties.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+TEST(FuzzerDeterminismTest, JsonIsByteIdenticalAcrossJobCounts) {
+  FuzzOptions Opts;
+  Opts.Seed = 5;
+  Opts.Runs = 30;
+
+  Opts.Jobs = 1;
+  FuzzReport Sequential = runFuzzCampaign(Opts);
+  Opts.Jobs = 4;
+  FuzzReport Parallel = runFuzzCampaign(Opts);
+
+  EXPECT_EQ(Sequential.toJson(), Parallel.toJson());
+  EXPECT_EQ(Sequential.RunsCompleted, Opts.Runs);
+  EXPECT_EQ(Parallel.RunsCompleted, Opts.Runs);
+}
+
+TEST(FuzzerDeterminismTest, CleanCampaignReportShape) {
+  FuzzOptions Opts;
+  Opts.Seed = 9;
+  Opts.Runs = 12;
+  FuzzReport Report = runFuzzCampaign(Opts);
+
+  EXPECT_TRUE(Report.clean());
+  EXPECT_EQ(Report.MasterSeed, 9u);
+  EXPECT_EQ(Report.RunsRequested, 12u);
+  EXPECT_EQ(Report.RunsCompleted, 12u);
+  EXPECT_EQ(Report.InputsRejected, 0u);
+
+  std::string Json = Report.toJson();
+  EXPECT_NE(Json.find("\"schema\":\"fcc-fuzz-1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"seed\":9"), std::string::npos);
+  EXPECT_NE(Json.find("\"completed\":12"), std::string::npos);
+  EXPECT_NE(Json.find("\"findings\":[]"), std::string::npos);
+  // Determinism across --jobs forbids any timing or job-count field.
+  EXPECT_EQ(Json.find("jobs"), std::string::npos);
+  EXPECT_EQ(Json.find("_us"), std::string::npos);
+
+  std::string Summary = Report.summary();
+  EXPECT_NE(Summary.find("completed=12/12"), std::string::npos);
+  EXPECT_NE(Summary.find("findings=0"), std::string::npos);
+}
+
+TEST(FuzzerDeterminismTest, RepeatedCampaignsAgree) {
+  FuzzOptions Opts;
+  Opts.Seed = 77;
+  Opts.Runs = 10;
+  Opts.Jobs = 2;
+  EXPECT_EQ(runFuzzCampaign(Opts).toJson(), runFuzzCampaign(Opts).toJson());
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/interp/InterpreterEdgeCaseTest.cpp ---------------------------===//
+//
+// Pins the totality semantics the differential oracle depends on: every
+// strict program must produce the same defined result in every pipeline
+// configuration, so wraparound, division corner cases, memory address
+// wrapping and step-limit exhaustion all need exact, documented behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include <cstdint>
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+ExecutionResult runWith(const Interpreter &Interp, const char *Text,
+                        std::vector<int64_t> Args = {}) {
+  auto M = parseSingleFunctionOrDie(Text);
+  return Interp.run(*M->functions()[0], Args);
+}
+
+ExecutionResult run(const char *Text, std::vector<int64_t> Args = {}) {
+  return runWith(Interpreter(), Text, std::move(Args));
+}
+
+TEST(InterpreterEdgeCaseTest, AdditionWrapsModulo2To64) {
+  ExecutionResult R = run("func @f() {\nentry:\n"
+                          "  %max = const 9223372036854775807\n"
+                          "  %one = const 1\n"
+                          "  %s = add %max, %one\n  ret %s\n}");
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, INT64_MIN);
+}
+
+TEST(InterpreterEdgeCaseTest, SubtractionWrapsModulo2To64) {
+  ExecutionResult R = run("func @f() {\nentry:\n"
+                          "  %max = const 9223372036854775807\n"
+                          "  %one = const 1\n"
+                          "  %min = add %max, %one\n"
+                          "  %s = sub %min, %one\n  ret %s\n}");
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, INT64_MAX);
+}
+
+TEST(InterpreterEdgeCaseTest, MultiplicationWrapsModulo2To64) {
+  // 2^32 * 2^32 = 2^64 ≡ 0.
+  ExecutionResult R = run("func @f() {\nentry:\n"
+                          "  %a = const 4294967296\n"
+                          "  %p = mul %a, %a\n  ret %p\n}");
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, 0);
+}
+
+TEST(InterpreterEdgeCaseTest, NegationOfInt64MinWraps) {
+  // -INT64_MIN has no int64 representation; 0 - INT64_MIN wraps back.
+  ExecutionResult R = run("func @f() {\nentry:\n"
+                          "  %max = const 9223372036854775807\n"
+                          "  %one = const 1\n"
+                          "  %min = add %max, %one\n"
+                          "  %n = neg %min\n  ret %n\n}");
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, INT64_MIN);
+}
+
+TEST(InterpreterEdgeCaseTest, DivModByZeroFromVariableIsZero) {
+  // The constant-zero case is covered elsewhere; divisors that only become
+  // zero at runtime must behave identically.
+  EXPECT_EQ(run("func @f(%a, %b) {\nentry:\n  %d = div %a, %b\n  ret %d\n}",
+                {7, 0})
+                .ReturnValue,
+            0);
+  EXPECT_EQ(run("func @f(%a, %b) {\nentry:\n  %m = mod %a, %b\n  ret %m\n}",
+                {7, 0})
+                .ReturnValue,
+            0);
+}
+
+TEST(InterpreterEdgeCaseTest, DivModInt64MinByMinusOne) {
+  // INT64_MIN / -1 overflows in hardware; here it wraps to INT64_MIN with
+  // remainder 0.
+  ExecutionResult D =
+      run("func @f(%a, %b) {\nentry:\n  %d = div %a, %b\n  ret %d\n}",
+          {INT64_MIN, -1});
+  ASSERT_TRUE(D.Completed);
+  EXPECT_EQ(D.ReturnValue, INT64_MIN);
+
+  ExecutionResult M =
+      run("func @f(%a, %b) {\nentry:\n  %m = mod %a, %b\n  ret %m\n}",
+          {INT64_MIN, -1});
+  ASSERT_TRUE(M.Completed);
+  EXPECT_EQ(M.ReturnValue, 0);
+}
+
+TEST(InterpreterEdgeCaseTest, MemoryAddressesWrapModuloSize) {
+  // 8 words: address 9 aliases word 1, and a negative address wraps through
+  // 2^64 (divisible by 8), so -7 also aliases word 1.
+  Interpreter Interp(/*MemoryWords=*/8);
+  ExecutionResult R = runWith(Interp,
+                              "func @f() {\nentry:\n"
+                              "  %v = const 42\n"
+                              "  %hi = const 9\n"
+                              "  store %hi, %v\n"
+                              "  %neg = const -7\n"
+                              "  %got = load %neg\n  ret %got\n}");
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, 42);
+  ASSERT_EQ(R.FinalMemory.size(), 8u);
+  EXPECT_EQ(R.FinalMemory[1], 42);
+  EXPECT_EQ(R.FinalMemory[0], 0);
+}
+
+TEST(InterpreterEdgeCaseTest, StepLimitBoundaryIsExact) {
+  // Three non-phi instructions including the ret: the program completes
+  // with StepLimit == 3 and is cut off with StepLimit == 2.
+  const char *Text = "func @f() {\nentry:\n  %a = const 1\n"
+                     "  %b = add %a, 1\n  ret %b\n}";
+
+  ExecutionResult Exact = runWith(Interpreter(64, /*StepLimit=*/3), Text);
+  EXPECT_TRUE(Exact.Completed);
+  EXPECT_EQ(Exact.ReturnValue, 2);
+  EXPECT_EQ(Exact.InstructionsExecuted, 3u);
+
+  ExecutionResult Cut = runWith(Interpreter(64, /*StepLimit=*/2), Text);
+  EXPECT_FALSE(Cut.Completed);
+  EXPECT_EQ(Cut.ReturnValue, 0);
+  EXPECT_EQ(Cut.InstructionsExecuted, 2u);
+}
+
+TEST(InterpreterEdgeCaseTest, StepLimitExhaustionKeepsObservableState) {
+  // A store before an effectively unbounded loop: hitting the limit must
+  // report Completed=false while preserving the memory image built so far.
+  const char *Text = "func @f() {\nentry:\n"
+                     "  %addr = const 3\n"
+                     "  %v = const 7\n"
+                     "  store %addr, %v\n"
+                     "  %i = const 0\n"
+                     "  br header\n"
+                     "header:\n"
+                     "  %c = cmplt %i, 1000000000\n"
+                     "  cbr %c, body, exit\n"
+                     "body:\n"
+                     "  %i = add %i, 1\n"
+                     "  br header\n"
+                     "exit:\n"
+                     "  ret %i\n}";
+  ExecutionResult R = runWith(Interpreter(64, /*StepLimit=*/1000), Text);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, 0);
+  EXPECT_EQ(R.InstructionsExecuted, 1000u);
+  ASSERT_EQ(R.FinalMemory.size(), 64u);
+  EXPECT_EQ(R.FinalMemory[3], 7);
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+//===- tests/service/FccCorpusTest.cpp ------------------------------------===//
+//
+// Fuzzer reproducers are `.fcc` files — the same IR dialect as `.ir`, plus
+// a `;`-comment header. The corpus loader must pick them up so a fuzzing
+// campaign's output directory replays in bulk through fcc-batch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompilationService.h"
+#include "service/WorkUnit.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+constexpr const char *ReproSource =
+    "; fcc-fuzz repro: run 17, program seed 12345\n"
+    "; kind: exec-mismatch\n"
+    "func @fuzz_17(%a) {\n"
+    "entry:\n"
+    "  %b = add %a, 1\n"
+    "  ret %b\n"
+    "}\n";
+
+TEST(FccCorpusTest, CollectUnitsPicksUpFccRepros) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "fcc_fuzz_corpus_test";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  std::ofstream(Dir / "fuzz-000017.fcc") << ReproSource;
+  std::ofstream(Dir / "plain.ir")
+      << "func @plain() {\nentry:\n  %x = const 1\n  ret %x\n}\n";
+  std::ofstream(Dir / "summary.json") << "{}";
+
+  std::vector<WorkUnit> Units;
+  std::string Error;
+  ASSERT_TRUE(collectUnits(Dir.string(), Units, Error)) << Error;
+  ASSERT_EQ(Units.size(), 2u);
+  EXPECT_EQ(Units[0].Name, "fuzz-000017");
+  EXPECT_EQ(Units[1].Name, "plain");
+
+  // The repro must compile and execute: the comment header is part of the
+  // dialect, not an obstacle.
+  ServiceOptions Opts;
+  Opts.CheckPartition = true;
+  Opts.Execute = true;
+  Opts.ExecArgs = {4};
+  BatchReport Report = CompilationService(Opts).run(Units);
+  EXPECT_EQ(Report.totals().Failed, 0u);
+  ASSERT_FALSE(Report.Units[0].Functions.empty());
+  EXPECT_EQ(Report.Units[0].Functions[0].Exec.ReturnValue, 5);
+
+  fs::remove_all(Dir);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- tests/workload/FuzzKnobsTest.cpp -----------------------------------===//
+//
+// The generator hooks the fuzzing subsystem leans on: per-run knob
+// derivation (deterministic, run-indexed, in documented ranges) and the
+// shrink ladder the reducer regenerates from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ProgramGenerator.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace fcc;
+
+namespace {
+
+TEST(FuzzKnobsTest, RunOptionsAreDeterministicAndRunIndexed) {
+  GeneratorOptions A = fuzzerOptionsForRun(10, 4);
+  GeneratorOptions B = fuzzerOptionsForRun(10, 4);
+  EXPECT_EQ(A.Seed, B.Seed);
+  EXPECT_EQ(A.SizeBudget, B.SizeBudget);
+  EXPECT_EQ(A.NumVars, B.NumVars);
+  EXPECT_EQ(A.CopyPercent, B.CopyPercent);
+
+  // Different runs (and different master seeds) must explore different
+  // programs; seeds colliding across a small sample would gut coverage.
+  std::set<uint64_t> Seeds;
+  for (unsigned Run = 0; Run != 50; ++Run) {
+    Seeds.insert(fuzzerOptionsForRun(10, Run).Seed);
+    Seeds.insert(fuzzerOptionsForRun(11, Run).Seed);
+  }
+  EXPECT_EQ(Seeds.size(), 100u);
+}
+
+TEST(FuzzKnobsTest, RunOptionsStayInDocumentedRanges) {
+  for (unsigned Run = 0; Run != 200; ++Run) {
+    GeneratorOptions G = fuzzerOptionsForRun(3, Run);
+    EXPECT_GE(G.SizeBudget, 4u);
+    EXPECT_LE(G.SizeBudget, 36u);
+    EXPECT_LE(G.NumParams, 4u);
+    EXPECT_GE(G.NumVars, G.NumParams + 2);
+    EXPECT_GE(G.MaxLoopDepth, 1u);
+    EXPECT_LE(G.MaxLoopDepth, 4u);
+    EXPECT_GE(G.LoopTripMax, 1u);
+    EXPECT_LE(G.LoopTripMax, 7u);
+    EXPECT_GE(G.CopyPercent, 10u);
+    EXPECT_LE(G.CopyPercent + G.MemPercent, 100u);
+    EXPECT_GE(G.RunLength, 2u);
+  }
+}
+
+TEST(FuzzKnobsTest, GeneratedProgramsRegenerateBitForBit) {
+  GeneratorOptions G = fuzzerOptionsForRun(8, 2);
+  Module M1, M2;
+  generateProgram(M1, "f", G);
+  generateProgram(M2, "f", G);
+  EXPECT_EQ(printModule(M1), printModule(M2));
+}
+
+TEST(FuzzKnobsTest, ShrinkLadderDescendsAndTerminates) {
+  GeneratorOptions Big;
+  Big.Seed = 99;
+  Big.SizeBudget = 36;
+  Big.NumVars = 16;
+  Big.MaxLoopDepth = 4;
+  Big.LoopTripMax = 7;
+
+  std::vector<GeneratorOptions> Ladder = shrinkLadder(Big);
+  ASSERT_FALSE(Ladder.empty());
+  const GeneratorOptions *Prev = &Big;
+  for (const GeneratorOptions &Rung : Ladder) {
+    EXPECT_EQ(Rung.Seed, Big.Seed) << "shrinking must not reseed";
+    EXPECT_LE(Rung.SizeBudget, Prev->SizeBudget);
+    EXPECT_LE(Rung.NumVars, Prev->NumVars);
+    EXPECT_LE(Rung.MaxLoopDepth, Prev->MaxLoopDepth);
+    EXPECT_LE(Rung.LoopTripMax, Prev->LoopTripMax);
+    EXPECT_TRUE(Rung.SizeBudget < Prev->SizeBudget ||
+                Rung.MaxLoopDepth < Prev->MaxLoopDepth ||
+                Rung.LoopTripMax < Prev->LoopTripMax)
+        << "every rung must be strictly smaller somewhere";
+    Prev = &Rung;
+  }
+  const GeneratorOptions &Last = Ladder.back();
+  EXPECT_LE(Last.SizeBudget, 2u);
+  EXPECT_EQ(Last.MaxLoopDepth, 1u);
+  EXPECT_EQ(Last.LoopTripMax, 1u);
+
+  // Every rung still generates a valid program (generateProgram aborts on
+  // malformed output).
+  for (const GeneratorOptions &Rung : Ladder) {
+    Module M;
+    generateProgram(M, "rung", Rung);
+  }
+
+  // A minimal configuration has nowhere further to go.
+  EXPECT_TRUE(shrinkLadder(Last).empty());
+}
+
+} // namespace

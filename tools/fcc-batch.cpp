@@ -11,6 +11,8 @@
 //   --pipeline=new|standard|briggs|briggs*  configuration (default new)
 //   --jobs=N            worker threads (default 1; 0 = hardware)
 //   --generate=N[:SEED] append N generated routines (default seed 1)
+//   --seed=N            generation seed (alternative to --generate's :SEED;
+//                       whichever flag comes last wins)
 //   --json=PATH         write the JSON report to PATH ('-' for stdout)
 //   --no-timings        deterministic report: omit timings and job count,
 //                       so reports from different --jobs compare equal
@@ -63,7 +65,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
-      "       [--jobs=N] [--generate=N[:SEED]] [--json=PATH] [--no-timings]\n"
+      "       [--jobs=N] [--generate=N[:SEED]] [--seed=N] [--json=PATH]\n"
+      "       [--no-timings]\n"
       "       [--stats] [--trace=PATH] [--check] [--run ARG,...] [--strict]\n"
       "       [--max-instructions=N] [--time-budget-ms=N] [--quiet]\n",
       Argv0);
@@ -115,6 +118,11 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
         return false;
       }
       Opts.GenerateCount = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      if (!parseUint64Arg(Arg.substr(7), Opts.GenerateSeed)) {
+        std::fprintf(stderr, "bad --seed value in '%s'\n", Arg.c_str());
+        return false;
+      }
     } else if (Arg.rfind("--json=", 0) == 0) {
       Opts.JsonPath = Arg.substr(7);
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -198,7 +206,7 @@ int main(int Argc, char **Argv) {
       Units.push_back(std::move(U));
   }
   if (Units.empty()) {
-    std::fprintf(stderr, "no work units (no .ir files found)\n");
+    std::fprintf(stderr, "no work units (no .ir/.fcc files found)\n");
     return 2;
   }
 
