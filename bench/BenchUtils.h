@@ -29,25 +29,32 @@ struct SuiteRow {
   RoutineReport BriggsImproved;
 };
 
-/// Repeats a compile-only pipeline run \p Repeats times and keeps the
-/// minimum time (other metrics are deterministic).
+/// Repeats a compile-only pipeline run \p Repeats times after one untimed
+/// warmup run and reports the median times (other metrics are deterministic,
+/// so any run's copy serves). The pipeline clocks are steady-clock already
+/// (support/Timer.h); the warmup pass absorbs first-touch effects — page
+/// faults, cold caches, lazy suite materialization — and the median resists
+/// the scheduling outliers a minimum or single shot is hostage to.
 inline RoutineReport timedRun(const RoutineSpec &Spec, PipelineKind Kind,
                               bool Execute, unsigned Repeats) {
-  RoutineReport Best = runOnRoutine(Spec, Kind, Execute);
-  for (unsigned I = 1; I < Repeats; ++I) {
+  runOnRoutine(Spec, Kind, Execute); // warmup, never recorded
+
+  RoutineReport Result;
+  std::vector<uint64_t> Times, CoalesceTimes;
+  Times.reserve(Repeats);
+  CoalesceTimes.reserve(Repeats);
+  for (unsigned I = 0; I < Repeats; ++I) {
     RoutineReport Next = runOnRoutine(Spec, Kind, Execute);
-    if (Next.Compile.TimeMicros < Best.Compile.TimeMicros) {
-      Next.Compile.CoalesceTimeMicros =
-          std::min(Next.Compile.CoalesceTimeMicros,
-                   Best.Compile.CoalesceTimeMicros);
-      Best = std::move(Next);
-    } else {
-      Best.Compile.CoalesceTimeMicros =
-          std::min(Best.Compile.CoalesceTimeMicros,
-                   Next.Compile.CoalesceTimeMicros);
-    }
+    Times.push_back(Next.Compile.TimeMicros);
+    CoalesceTimes.push_back(Next.Compile.CoalesceTimeMicros);
+    if (I == 0)
+      Result = std::move(Next);
   }
-  return Best;
+  std::sort(Times.begin(), Times.end());
+  std::sort(CoalesceTimes.begin(), CoalesceTimes.end());
+  Result.Compile.TimeMicros = Times[Times.size() / 2];
+  Result.Compile.CoalesceTimeMicros = CoalesceTimes[CoalesceTimes.size() / 2];
+  return Result;
 }
 
 /// Runs the whole paper suite under all four configurations.

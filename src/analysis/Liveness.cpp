@@ -6,36 +6,72 @@
 #include "ir/Function.h"
 #include "ir/Variable.h"
 
+#include <algorithm>
+
 using namespace fcc;
 
-Liveness::Liveness(const Function &F) : F(F) {
-  unsigned NumBlocks = F.numBlocks();
-  unsigned NumVars = F.numVariables();
+namespace {
 
-  LiveInSets.assign(NumBlocks, IndexSet(NumVars));
-  LiveOutSets.assign(NumBlocks, IndexSet(NumVars));
+/// Word-span helpers for the flat set storage. All spans have the same
+/// width; the callers guarantee it.
+inline void setBit(uint64_t *W, unsigned Id) {
+  W[Id / 64] |= uint64_t(1) << (Id % 64);
+}
+inline bool testBit(const uint64_t *W, unsigned Id) {
+  return (W[Id / 64] >> (Id % 64)) & 1;
+}
+inline bool orInto(uint64_t *Dst, const uint64_t *Src, size_t NumWords) {
+  bool Changed = false;
+  for (size_t I = 0; I != NumWords; ++I) {
+    uint64_t New = Dst[I] | Src[I];
+    Changed |= New != Dst[I];
+    Dst[I] = New;
+  }
+  return Changed;
+}
+
+} // namespace
+
+Liveness::Liveness(const Function &F) {
+  NumBlocks = F.numBlocks();
+  unsigned NumVars = F.numVariables();
+  WordsPerSet = (size_t(NumVars) + 63) / 64;
+
+  // Persistent storage: live-in and live-out words for every block, one
+  // allocation. The transient per-block sets (upward-exposed uses,
+  // definitions, phi uses) plus the solver scratch share a second flat
+  // buffer freed when construction returns.
+  Words.assign(2 * size_t(NumBlocks) * WordsPerSet, 0);
+  std::vector<uint64_t> Transient((3 * size_t(NumBlocks) + 1) * WordsPerSet,
+                                  0);
+  auto UEVar = [&](unsigned Id) {
+    return Transient.data() + size_t(Id) * WordsPerSet;
+  };
+  auto DefVar = [&](unsigned Id) {
+    return Transient.data() + (size_t(NumBlocks) + Id) * WordsPerSet;
+  };
+  // PhiUse[b] collects, for each successor edge b->s, the variables feeding
+  // s's phis along that edge; they are live out of b.
+  auto PhiUse = [&](unsigned Id) {
+    return Transient.data() + (2 * size_t(NumBlocks) + Id) * WordsPerSet;
+  };
+  uint64_t *Scratch = Transient.data() + 3 * size_t(NumBlocks) * WordsPerSet;
 
   // Per-block upward-exposed uses (direct uses only; phi operands belong to
   // edges) and definitions (including phi results).
-  std::vector<IndexSet> UEVar(NumBlocks, IndexSet(NumVars));
-  std::vector<IndexSet> DefVar(NumBlocks, IndexSet(NumVars));
-  // PhiUse[b] collects, for each successor edge b->s, the variables feeding
-  // s's phis along that edge; they are live out of b.
-  std::vector<IndexSet> PhiUse(NumBlocks, IndexSet(NumVars));
-
   for (const auto &B : F.blocks()) {
     unsigned Id = B->id();
-    IndexSet &UE = UEVar[Id];
-    IndexSet &Defs = DefVar[Id];
+    uint64_t *UE = UEVar(Id);
+    uint64_t *Defs = DefVar(Id);
     for (const auto &Phi : B->phis())
-      Defs.insert(Phi->getDef()->id());
+      setBit(Defs, Phi->getDef()->id());
     for (const auto &I : B->insts()) {
       I->forEachUsedVar([&](Variable *V) {
-        if (!Defs.test(V->id()))
-          UE.insert(V->id());
+        if (!testBit(Defs, V->id()))
+          setBit(UE, V->id());
       });
       if (Variable *Def = I->getDef())
-        Defs.insert(Def->id());
+        setBit(Defs, Def->id());
     }
   }
   for (const auto &B : F.blocks())
@@ -43,55 +79,48 @@ Liveness::Liveness(const Function &F) : F(F) {
       for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
         const Operand &O = Phi->getOperand(Idx);
         if (O.isVar())
-          PhiUse[B->preds()[Idx]->id()].insert(O.getVar()->id());
+          setBit(PhiUse(B->preds()[Idx]->id()), O.getVar()->id());
       }
 
   // Round-robin to a fixed point, iterating blocks in reverse id order as a
   // cheap approximation of postorder (converges regardless of order). The
-  // scratch set is hoisted out of the loop: per-block allocations dominate
-  // the solver otherwise.
-  IndexSet Scratch(NumVars);
+  // whole solve is allocation-free: every set is a span of the two flat
+  // buffers.
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (unsigned Idx = NumBlocks; Idx-- != 0;) {
       const BasicBlock *B = F.block(Idx);
-      Scratch.clear();
-      Scratch.unionWith(PhiUse[Idx]);
+      std::copy_n(PhiUse(Idx), WordsPerSet, Scratch);
       for (const BasicBlock *S : B->terminator()->successors())
-        Scratch.unionWith(LiveInSets[S->id()]);
-      Changed |= LiveOutSets[Idx].unionWith(Scratch);
+        orInto(Scratch, inWords(S->id()), WordsPerSet);
+      Changed |= orInto(outWords(Idx), Scratch, WordsPerSet);
 
-      Scratch.subtract(DefVar[Idx]);
-      Scratch.unionWith(UEVar[Idx]);
-      Changed |= LiveInSets[Idx].unionWith(Scratch);
+      const uint64_t *Defs = DefVar(Idx);
+      for (size_t W = 0; W != WordsPerSet; ++W)
+        Scratch[W] &= ~Defs[W];
+      orInto(Scratch, UEVar(Idx), WordsPerSet);
+      Changed |= orInto(inWords(Idx), Scratch, WordsPerSet);
     }
   }
 }
 
-const IndexSet &Liveness::liveIn(const BasicBlock *B) const {
-  assert(B->id() < LiveInSets.size() && "foreign block");
-  return LiveInSets[B->id()];
+IndexSetView Liveness::liveIn(const BasicBlock *B) const {
+  assert(B->id() < NumBlocks && "foreign block");
+  return IndexSetView(inWords(B->id()), WordsPerSet);
 }
 
-const IndexSet &Liveness::liveOut(const BasicBlock *B) const {
-  assert(B->id() < LiveOutSets.size() && "foreign block");
-  return LiveOutSets[B->id()];
+IndexSetView Liveness::liveOut(const BasicBlock *B) const {
+  assert(B->id() < NumBlocks && "foreign block");
+  return IndexSetView(outWords(B->id()), WordsPerSet);
 }
 
 bool Liveness::isLiveIn(const BasicBlock *B, const Variable *V) const {
-  return liveIn(B).test(V->id());
+  assert(B->id() < NumBlocks && "foreign block");
+  return V->id() < WordsPerSet * 64 && testBit(inWords(B->id()), V->id());
 }
 
 bool Liveness::isLiveOut(const BasicBlock *B, const Variable *V) const {
-  return liveOut(B).test(V->id());
-}
-
-size_t Liveness::bytes() const {
-  size_t Total = 0;
-  for (const IndexSet &S : LiveInSets)
-    Total += S.bytes();
-  for (const IndexSet &S : LiveOutSets)
-    Total += S.bytes();
-  return Total;
+  assert(B->id() < NumBlocks && "foreign block");
+  return V->id() < WordsPerSet * 64 && testBit(outWords(B->id()), V->id());
 }

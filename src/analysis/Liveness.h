@@ -7,12 +7,20 @@
 /// direct (non-phi) use in b or below appear in live-in(b). Phi results are
 /// defined at the top of their block.
 ///
+/// Storage discipline: every block's live-in and live-out words live in one
+/// flat buffer sized once per function (2 * blocks * words-per-set), so the
+/// analysis performs a constant number of heap allocations regardless of CFG
+/// size. Accessors hand out non-owning IndexSetView spans into that buffer;
+/// callers that need a mutable scratch copy construct an IndexSet from the
+/// view.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCC_ANALYSIS_LIVENESS_H
 #define FCC_ANALYSIS_LIVENESS_H
 
 #include "support/IndexSet.h"
+#include <cstdint>
 #include <vector>
 
 namespace fcc {
@@ -26,19 +34,33 @@ class Liveness {
 public:
   explicit Liveness(const Function &F);
 
-  const IndexSet &liveIn(const BasicBlock *B) const;
-  const IndexSet &liveOut(const BasicBlock *B) const;
+  IndexSetView liveIn(const BasicBlock *B) const;
+  IndexSetView liveOut(const BasicBlock *B) const;
 
   bool isLiveIn(const BasicBlock *B, const Variable *V) const;
   bool isLiveOut(const BasicBlock *B, const Variable *V) const;
 
   /// Bytes held by the live sets (for the memory experiments).
-  size_t bytes() const;
+  size_t bytes() const { return Words.capacity() * sizeof(uint64_t); }
 
 private:
-  const Function &F;
-  std::vector<IndexSet> LiveInSets;  // indexed by block id
-  std::vector<IndexSet> LiveOutSets; // indexed by block id
+  uint64_t *inWords(unsigned BlockId) {
+    return Words.data() + size_t(BlockId) * WordsPerSet;
+  }
+  uint64_t *outWords(unsigned BlockId) {
+    return Words.data() + size_t(NumBlocks + BlockId) * WordsPerSet;
+  }
+  const uint64_t *inWords(unsigned BlockId) const {
+    return Words.data() + size_t(BlockId) * WordsPerSet;
+  }
+  const uint64_t *outWords(unsigned BlockId) const {
+    return Words.data() + size_t(NumBlocks + BlockId) * WordsPerSet;
+  }
+
+  unsigned NumBlocks = 0;
+  size_t WordsPerSet = 0;
+  /// Live-in sets for all blocks, then live-out sets for all blocks.
+  std::vector<uint64_t> Words;
 };
 
 } // namespace fcc

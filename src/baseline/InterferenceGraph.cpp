@@ -30,12 +30,10 @@ InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV,
   // The expensive step Section 4.1 talks about: clearing n^2/2 bits.
   Matrix.reset(static_cast<unsigned>(Universe.size()));
   HasAdjacency = Opts.BuildAdjacencyLists;
-  if (HasAdjacency)
-    Adjacency.assign(Universe.size(), {});
 
   // Chaitin's backward walk per block.
   for (const auto &B : F.blocks()) {
-    IndexSet Live = LV.liveOut(B.get());
+    IndexSet Live(LV.liveOut(B.get()));
 
     for (auto It = B->insts().rbegin(), E = B->insts().rend(); It != E;
          ++It) {
@@ -111,16 +109,34 @@ InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV,
       }
     }
   }
+
+  // Freeze the adjacency lists into CSR form. A stable counting pass over
+  // the discovery-ordered edge list reproduces exactly the neighbor order
+  // per-node push_back would have built.
+  if (HasAdjacency) {
+    AdjOffsets.assign(Universe.size() + 1, 0);
+    for (const auto &E : EdgeScratch) {
+      ++AdjOffsets[E.first + 1];
+      ++AdjOffsets[E.second + 1];
+    }
+    for (unsigned I = 1; I <= Universe.size(); ++I)
+      AdjOffsets[I] += AdjOffsets[I - 1];
+    AdjStorage.resize(EdgeScratch.size() * 2);
+    std::vector<unsigned> Cursor(AdjOffsets.begin(), AdjOffsets.end() - 1);
+    for (const auto &E : EdgeScratch) {
+      AdjStorage[Cursor[E.first]++] = E.second;
+      AdjStorage[Cursor[E.second]++] = E.first;
+    }
+    std::vector<std::pair<unsigned, unsigned>>().swap(EdgeScratch);
+  }
 }
 
 void InterferenceGraph::addEdge(unsigned A, unsigned B) {
   if (A == B || Matrix.test(A, B))
     return;
   Matrix.set(A, B);
-  if (HasAdjacency) {
-    Adjacency[A].push_back(B);
-    Adjacency[B].push_back(A);
-  }
+  if (HasAdjacency)
+    EdgeScratch.emplace_back(A, B);
 }
 
 unsigned InterferenceGraph::nodeIndex(const Variable *V) const {
@@ -140,16 +156,20 @@ bool InterferenceGraph::interfere(const Variable *A,
 
 unsigned InterferenceGraph::degree(const Variable *V) const {
   assert(HasAdjacency && "adjacency lists were not built");
-  return static_cast<unsigned>(Adjacency[nodeIndex(V)].size());
+  unsigned Node = nodeIndex(V);
+  return AdjOffsets[Node + 1] - AdjOffsets[Node];
 }
 
-const std::vector<unsigned> &
+InterferenceGraph::NeighborList
 InterferenceGraph::neighbors(const Variable *V) const {
   assert(HasAdjacency && "adjacency lists were not built");
-  return Adjacency[nodeIndex(V)];
+  unsigned Node = nodeIndex(V);
+  return {AdjStorage.data() + AdjOffsets[Node],
+          AdjOffsets[Node + 1] - AdjOffsets[Node]};
 }
 
 void InterferenceGraph::mergeInto(const Variable *A, const Variable *B) {
+  assert(!HasAdjacency && "mergeInto cannot grow the frozen CSR adjacency");
   unsigned NA = nodeIndex(A), NB = nodeIndex(B);
   for (unsigned T = 0, E = numNodes(); T != E; ++T)
     if (T != NA && Matrix.test(NB, T))
@@ -157,9 +177,8 @@ void InterferenceGraph::mergeInto(const Variable *A, const Variable *B) {
 }
 
 size_t InterferenceGraph::bytes() const {
-  size_t Total = Matrix.bytes() + VarToNode.capacity() * sizeof(int) +
-                 Universe.capacity() * sizeof(Variable *);
-  for (const auto &Adj : Adjacency)
-    Total += Adj.capacity() * sizeof(unsigned);
-  return Total;
+  return Matrix.bytes() + VarToNode.capacity() * sizeof(int) +
+         Universe.capacity() * sizeof(Variable *) +
+         AdjOffsets.capacity() * sizeof(unsigned) +
+         AdjStorage.capacity() * sizeof(unsigned);
 }

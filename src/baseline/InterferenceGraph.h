@@ -19,6 +19,7 @@
 
 #include "support/TriangularBitMatrix.h"
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace fcc {
@@ -59,14 +60,26 @@ public:
   /// Degree of \p V (requires adjacency lists).
   unsigned degree(const Variable *V) const;
 
-  /// Neighbors of \p V as node indices (requires adjacency lists).
-  const std::vector<unsigned> &neighbors(const Variable *V) const;
+  /// A node's neighbor ids: a view into the CSR neighbor storage.
+  struct NeighborList {
+    const unsigned *Data = nullptr;
+    unsigned Size = 0;
+    const unsigned *begin() const { return Data; }
+    const unsigned *end() const { return Data + Size; }
+    unsigned size() const { return Size; }
+  };
+
+  /// Neighbors of \p V as node indices (requires adjacency lists), in the
+  /// order the edges were discovered — the order the old per-node vectors
+  /// recorded, so coloring walks are unchanged.
+  NeighborList neighbors(const Variable *V) const;
 
   /// Variable for node index \p Node.
   Variable *nodeVariable(unsigned Node) const { return Universe[Node]; }
 
   /// Folds \p B's interferences into \p A (conservative update after
-  /// coalescing the copy A = B, as Chaitin does between rebuilds).
+  /// coalescing the copy A = B, as Chaitin does between rebuilds). Only
+  /// valid on matrix-only graphs: the frozen CSR adjacency cannot grow.
   void mergeInto(const Variable *A, const Variable *B);
 
   /// Number of interference pairs recorded.
@@ -84,7 +97,13 @@ private:
   std::vector<int> VarToNode;        // variable id -> node index or -1
   std::vector<Variable *> Universe;  // node index -> variable
   bool HasAdjacency = false;
-  std::vector<std::vector<unsigned>> Adjacency; // node -> neighbor nodes
+  // Adjacency in CSR form: one offsets array plus one flat neighbor array
+  // instead of a vector per node (two allocations total, Table 1's metric).
+  // EdgeScratch records edges in discovery order during construction and is
+  // released once the CSR arrays are frozen.
+  std::vector<std::pair<unsigned, unsigned>> EdgeScratch;
+  std::vector<unsigned> AdjOffsets;  // node -> start index, size n + 1
+  std::vector<unsigned> AdjStorage;  // concatenated neighbor lists
 };
 
 } // namespace fcc

@@ -75,9 +75,12 @@ DominanceForest::DominanceForest(std::vector<ForestMember> Members,
   }() && "members not in (preorder, position) order");
 
   // Figure 1 proper. Stack holds node indices; -1 is the virtual root whose
-  // maxpreorder is infinite.
+  // maxpreorder is infinite. Children thread through first-child/next-
+  // sibling links; LastChild tracks each node's list tail so attach order
+  // (== node creation order) is preserved without per-node vectors.
   constexpr unsigned InfinitePre = std::numeric_limits<unsigned>::max();
   std::vector<int> Stack{-1};
+  std::vector<int> LastChild(N, -1);
   auto MaxPreOf = [&](int NodeIdx) {
     if (NodeIdx < 0)
       return InfinitePre;
@@ -90,19 +93,20 @@ DominanceForest::DominanceForest(std::vector<ForestMember> Members,
       Stack.pop_back();
     int Parent = Stack.back();
     unsigned Self = static_cast<unsigned>(Nodes.size());
-    Nodes.push_back(Node{M, Parent, {}});
-    if (Parent < 0)
+    Nodes.push_back(Node{M, Parent, -1, -1});
+    if (Parent < 0) {
       Roots.push_back(Self);
-    else
-      Nodes[Parent].Children.push_back(Self);
+    } else {
+      if (Nodes[Parent].FirstChild < 0)
+        Nodes[Parent].FirstChild = static_cast<int>(Self);
+      else
+        Nodes[LastChild[Parent]].NextSibling = static_cast<int>(Self);
+      LastChild[Parent] = static_cast<int>(Self);
+    }
     Stack.push_back(static_cast<int>(Self));
   }
 }
 
 size_t DominanceForest::bytes() const {
-  size_t Total = Nodes.capacity() * sizeof(Node) +
-                 Roots.capacity() * sizeof(unsigned);
-  for (const Node &N : Nodes)
-    Total += N.Children.capacity() * sizeof(unsigned);
-  return Total;
+  return Nodes.capacity() * sizeof(Node) + Roots.capacity() * sizeof(unsigned);
 }

@@ -35,13 +35,18 @@ struct ForestMember {
   unsigned DefPos = 0;
 };
 
-/// The forest: nodes index into the member array.
+/// The forest: nodes index into the member array. Children are threaded as
+/// first-child/next-sibling links instead of one vector per node, so forest
+/// construction performs no per-node allocation — the whole structure is
+/// two flat arrays regardless of shape (the DSU/dominators line of work's
+/// allocation-lean discipline).
 class DominanceForest {
 public:
   struct Node {
     ForestMember Member;
-    int Parent = -1; ///< Node index, -1 for roots.
-    std::vector<unsigned> Children;
+    int Parent = -1;      ///< Node index, -1 for roots.
+    int FirstChild = -1;  ///< Head of the child list, in attach order.
+    int NextSibling = -1; ///< Next child of Parent, in attach order.
   };
 
   /// Builds the forest for \p Members over \p DT (Figure 1). Order of
@@ -53,6 +58,19 @@ public:
                   bool PreSorted = false);
 
   const std::vector<Node> &nodes() const { return Nodes; }
+
+  /// Invokes \p Fn on each child of \p NodeIdx, in attach order.
+  template <typename CallableT>
+  void forEachChild(unsigned NodeIdx, CallableT Fn) const {
+    for (int C = Nodes[NodeIdx].FirstChild; C >= 0; C = Nodes[C].NextSibling)
+      Fn(static_cast<unsigned>(C));
+  }
+
+  unsigned numChildren(unsigned NodeIdx) const {
+    unsigned N = 0;
+    forEachChild(NodeIdx, [&](unsigned) { ++N; });
+    return N;
+  }
 
   /// Indices of root nodes, in preorder.
   const std::vector<unsigned> &roots() const { return Roots; }

@@ -14,8 +14,6 @@
 #include "support/Stats.h"
 
 #include <algorithm>
-#include <iterator>
-#include <map>
 #include <span>
 
 using namespace fcc;
@@ -102,6 +100,7 @@ void FastCoalescer::computePartition() {
     Sets = UnionFind(NumVars);
     Removed.assign(NumVars, false);
     LocalPairs.clear();
+    RoundArena.reset();
 
     {
       PhaseScope P(Opts.Instr, "fast.build-sets", "coalesce");
@@ -117,7 +116,9 @@ void FastCoalescer::computePartition() {
     }
 
     Stats.PeakBytes += Sets.bytes() + Removed.size() / 8 +
-                       LocalPairs.capacity() * sizeof(LocalPair);
+                       LocalPairs.capacity() * sizeof(LocalPair) +
+                       MembersByRoot.capacity() * sizeof(MemberList) +
+                       RoundArena.bytesUsed();
 
     // Freeze this round's survivors. Canonical member: a parameter when the
     // set contains one (the incoming value cannot be renamed away from it —
@@ -193,18 +194,37 @@ unsigned FastCoalescer::lastUseIn(const BasicBlock *B, unsigned VarId) {
   if (LastUseCache.empty()) {
     LastUseCache.resize(F.numBlocks());
     LastUseReady.assign(F.numBlocks(), false);
+    LastUseScratch.resizeUniverse(F.numVariables());
   }
   if (!LastUseReady[B->id()]) {
     LastUseReady[B->id()] = true;
-    auto &Map = LastUseCache[B->id()];
+    // One forward scan through the reusable sparse map, then freeze the
+    // result as a sorted arena array the binary search below probes. The
+    // code never changes during partitioning, so the cache is valid for
+    // every round.
+    LastUseScratch.clear();
     unsigned Pos = 1;
     for (const auto &I : B->insts()) {
-      I->forEachUsedVar([&](Variable *V) { Map[V->id()] = Pos; });
+      I->forEachUsedVar([&](Variable *V) { LastUseScratch[V->id()] = Pos; });
       ++Pos;
     }
+    unsigned Count = LastUseScratch.size();
+    auto *Frozen = CacheArena.allocateArray<std::pair<unsigned, unsigned>>(
+        Count);
+    unsigned Out = 0;
+    for (const auto &E : LastUseScratch.entries())
+      Frozen[Out++] = {E.Key, E.Value};
+    std::sort(Frozen, Frozen + Count,
+              [](const auto &L, const auto &R) { return L.first < R.first; });
+    LastUseCache[B->id()] = {Frozen, Count};
   }
-  auto It = LastUseCache[B->id()].find(VarId);
-  return It == LastUseCache[B->id()].end() ? 0 : It->second;
+  const LastUseList &List = LastUseCache[B->id()];
+  const auto *It = std::lower_bound(
+      List.Data, List.Data + List.Size, VarId,
+      [](const std::pair<unsigned, unsigned> &E, unsigned Key) {
+        return E.first < Key;
+      });
+  return It != List.Data + List.Size && It->first == VarId ? It->second : 0;
 }
 
 bool FastCoalescer::localOverlap(unsigned ParentId, unsigned ChildId) {
@@ -227,9 +247,9 @@ bool FastCoalescer::setsWouldInterfere(unsigned RootA, unsigned RootB) {
   // scan's stack at the moment member v is attached IS v's ancestor chain.
   const auto SpanOf = [&](unsigned Root,
                           const unsigned &Single) -> std::span<const unsigned> {
-    const auto &V = MembersByRoot[Root];
-    return V.empty() ? std::span<const unsigned>(&Single, 1)
-                     : std::span<const unsigned>(V);
+    const MemberList &L = MembersByRoot[Root];
+    return L.Size == 0 ? std::span<const unsigned>(&Single, 1)
+                       : std::span<const unsigned>(L.Data, L.Size);
   };
   unsigned SingleA = RootA, SingleB = RootB;
   std::span<const unsigned> MA = SpanOf(RootA, SingleA);
@@ -278,19 +298,23 @@ bool FastCoalescer::setsWouldInterfere(unsigned RootA, unsigned RootB) {
 /// in eager mode, the exhaustive set-versus-set forest check).
 void FastCoalescer::buildInitialSets() {
   // An empty member list stands for the implicit singleton {root}, so this
-  // allocates nothing until sets actually merge.
+  // allocates nothing until sets actually merge; merged lists bump-allocate
+  // out of RoundArena.
   MembersByRoot.assign(F.numVariables(), {});
+  ClaimedBy.resizeUniverse(F.numVariables());
 
   // Deterministic dominator-tree preorder over blocks.
   for (BasicBlock *B : DT.preorderBlocks()) {
-    // Filter 4 state: which phi of this block claimed which set.
-    std::map<unsigned, const Instruction *> ClaimedBy;
+    // Filter 4 state: which phi of this block claimed which set. The sparse
+    // map is only ever probed by key, so reusing it across blocks cannot
+    // perturb any decision.
+    ClaimedBy.clear();
     for (const auto &Phi : B->phis()) {
       Variable *P = Phi->getDef();
       if (!Active[P->id()])
         continue; // Frozen in an earlier round.
       // Filter 5 state: defining blocks of this phi's accepted arguments.
-      std::vector<const BasicBlock *> SeenDefBlocks;
+      SeenDefBlocks.clear();
 
       for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
         const Operand &O = Phi->getOperand(Idx);
@@ -315,8 +339,9 @@ void FastCoalescer::buildInitialSets() {
                  DefPos[A->id()] == 0 && !F.isParam(A) &&
                  LV.isLiveIn(ADef, P))
           RejectedBy = 3; // a is a phi result whose block p enters live.
-        else if (auto It = ClaimedBy.find(Sets.find(A->id()));
-                 It != ClaimedBy.end() && It->second != Phi.get())
+        else if (const Instruction *const *Claimant =
+                     ClaimedBy.lookup(Sets.find(A->id()));
+                 Claimant && *Claimant != Phi.get())
           RejectedBy = 4; // Another phi of this block claimed a's set.
         else if (std::find(SeenDefBlocks.begin(), SeenDefBlocks.end(),
                            ADef) != SeenDefBlocks.end())
@@ -347,20 +372,26 @@ void FastCoalescer::buildInitialSets() {
         unsigned NewRoot = Sets.unite(RootP, RootA);
         unsigned OldRoot = NewRoot == RootP ? RootA : RootP;
         {
-          // Merge the (possibly implicit-singleton) sorted member lists.
-          std::vector<unsigned> KeepSide = std::move(MembersByRoot[NewRoot]);
-          std::vector<unsigned> LoseSide = std::move(MembersByRoot[OldRoot]);
-          if (KeepSide.empty())
-            KeepSide.push_back(NewRoot);
-          if (LoseSide.empty())
-            LoseSide.push_back(OldRoot);
-          auto &Into = MembersByRoot[NewRoot];
-          Into.reserve(KeepSide.size() + LoseSide.size());
-          std::merge(KeepSide.begin(), KeepSide.end(), LoseSide.begin(),
-                     LoseSide.end(), std::back_inserter(Into),
-                     [&](unsigned L, unsigned R) {
+          // Merge the (possibly implicit-singleton) sorted member lists
+          // into a fresh arena array; the source arrays become arena
+          // garbage reclaimed wholesale at the next round's reset.
+          unsigned KeepSingle = NewRoot, LoseSingle = OldRoot;
+          const MemberList &KeepList = MembersByRoot[NewRoot];
+          const MemberList &LoseList = MembersByRoot[OldRoot];
+          const unsigned *KeepData =
+              KeepList.Size ? KeepList.Data : &KeepSingle;
+          unsigned KeepSize = KeepList.Size ? KeepList.Size : 1;
+          const unsigned *LoseData =
+              LoseList.Size ? LoseList.Data : &LoseSingle;
+          unsigned LoseSize = LoseList.Size ? LoseList.Size : 1;
+          unsigned *Into =
+              RoundArena.allocateArray<unsigned>(KeepSize + LoseSize);
+          std::merge(KeepData, KeepData + KeepSize, LoseData,
+                     LoseData + LoseSize, Into, [&](unsigned L, unsigned R) {
                        return SortKey[L] < SortKey[R];
                      });
+          MembersByRoot[NewRoot] = {Into, KeepSize + LoseSize};
+          MembersByRoot[OldRoot] = {};
         }
         SeenDefBlocks.push_back(ADef);
       }
@@ -383,15 +414,17 @@ void FastCoalescer::walkForests() {
   // The member lists are maintained by phase 1 (sorted, empty = singleton);
   // only multi-member sets need a forest.
   for (unsigned Root = 0; Root != NumVars; ++Root) {
-    const auto &Members = MembersByRoot[Root];
-    if (Members.size() < 2)
+    const MemberList &Members = MembersByRoot[Root];
+    if (Members.Size < 2)
       continue;
     assert(Sets.findConst(Root) == Root && "member list on a non-root");
 
     std::vector<ForestMember> FM;
-    FM.reserve(Members.size());
-    for (unsigned Id : Members)
+    FM.reserve(Members.Size);
+    for (unsigned I = 0; I != Members.Size; ++I) {
+      unsigned Id = Members.Data[I];
       FM.push_back({F.variable(Id), DefBlock[Id], DefPos[Id]});
+    }
     DominanceForest Forest(std::move(FM), DT, /*PreSorted=*/true);
     Stats.PeakBytes = std::max(Stats.PeakBytes, Forest.bytes());
 
@@ -403,7 +436,9 @@ void FastCoalescer::walkForests() {
     auto ParentThreatensOthers = [&](unsigned ParentNode,
                                      unsigned ExceptNode) {
       const Variable *P = Nodes[ParentNode].Member.Var;
-      for (unsigned Kid : Nodes[ParentNode].Children) {
+      for (int KidIdx = Nodes[ParentNode].FirstChild; KidIdx >= 0;
+           KidIdx = Nodes[KidIdx].NextSibling) {
+        unsigned Kid = static_cast<unsigned>(KidIdx);
         if (Kid == ExceptNode || Removed[Nodes[Kid].Member.Var->id()])
           continue;
         const auto &KM = Nodes[Kid].Member;
@@ -494,12 +529,15 @@ void FastCoalescer::resolveLocalInterference() {
     while (End != LocalPairs.size() && DefBlock[LocalPairs[End].Child] == B)
       ++End;
 
-    // One backward scan: the last position each variable is used at in B.
-    // Body instruction i sits at position i + 1; phis at 0.
-    std::map<unsigned, unsigned> LastUse;
+    // One forward scan: the last position each variable is used at in B.
+    // Body instruction i sits at position i + 1; phis at 0. The scratch map
+    // is reused across blocks and rounds (lookup-only, never iterated, so
+    // its insertion order cannot leak into results).
+    LastUseScratch.resizeUniverse(F.numVariables());
+    LastUseScratch.clear();
     unsigned Pos = 1;
     for (const auto &I : B->insts()) {
-      I->forEachUsedVar([&](Variable *V) { LastUse[V->id()] = Pos; });
+      I->forEachUsedVar([&](Variable *V) { LastUseScratch[V->id()] = Pos; });
       ++Pos;
     }
 
@@ -514,8 +552,8 @@ void FastCoalescer::resolveLocalInterference() {
         // eviction elsewhere cannot weaken liveness, so recheck for safety.
         Interferes = true;
       } else {
-        auto It = LastUse.find(P);
-        unsigned LiveEnd = It == LastUse.end() ? DefPos[P] : It->second;
+        const unsigned *Found = LastUseScratch.lookup(P);
+        unsigned LiveEnd = Found ? *Found : DefPos[P];
         // Both defined at the top (two phis, or a phi and a parameter):
         // parallel definitions interfere outright.
         Interferes = LiveEnd > DefPos[C] ||

@@ -26,11 +26,13 @@
 #ifndef FCC_COALESCE_FASTCOALESCER_H
 #define FCC_COALESCE_FASTCOALESCER_H
 
+#include "support/Arena.h"
+#include "support/SparseSet.h"
 #include "support/UnionFind.h"
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace fcc {
@@ -38,6 +40,7 @@ namespace fcc {
 class BasicBlock;
 class DominatorTree;
 class Function;
+class Instruction;
 class Liveness;
 class Variable;
 struct Instrumentation;
@@ -156,14 +159,34 @@ private:
   FastCoalesceStats Stats;
   bool PartitionDone = false;
 
-  // Per-round state (reset between rounds).
+  /// A root's sorted member-id list. The ids live in RoundArena; an empty
+  /// list stands for the implicit singleton {root}.
+  struct MemberList {
+    const unsigned *Data = nullptr;
+    unsigned Size = 0;
+  };
+  /// A block's last-use positions as a (var id, position) array sorted by
+  /// id, allocated in CacheArena and binary-searched by lastUseIn().
+  struct LastUseList {
+    const std::pair<unsigned, unsigned> *Data = nullptr;
+    unsigned Size = 0;
+  };
+
+  // Per-round state (reset between rounds). Member lists bump-allocate out
+  // of RoundArena — merges leave the dead halves behind and reset() reclaims
+  // everything at once — so a round performs no per-set allocation.
   UnionFind Sets;
   std::vector<bool> Removed; // evicted members, by variable id
   std::vector<LocalPair> LocalPairs;
-  std::vector<std::vector<unsigned>> MembersByRoot; // eager mode
+  Arena RoundArena{4096};
+  std::vector<MemberList> MembersByRoot;              // eager mode
   std::vector<unsigned> ScratchStack; // reused by setsWouldInterfere
-  std::vector<std::map<unsigned, unsigned>> LastUseCache; // lazily per block
-  std::vector<bool> LastUseReady;                         // by block id
+  SparseMap<const Instruction *> ClaimedBy;           // reused per block
+  std::vector<const BasicBlock *> SeenDefBlocks;      // reused per phi
+  SparseMap<unsigned> LastUseScratch;                 // reused per block
+  Arena CacheArena{4096};            // valid across rounds (code is stable)
+  std::vector<LastUseList> LastUseCache;              // lazily per block
+  std::vector<bool> LastUseReady;                     // by block id
   // Whole-run state.
   std::vector<bool> Active;          // still seeking a set, by variable id
   std::vector<Variable *> FinalRep;  // frozen location, by variable id

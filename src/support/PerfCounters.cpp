@@ -1,0 +1,59 @@
+//===- support/PerfCounters.cpp -------------------------------------------===//
+
+#include "support/PerfCounters.h"
+
+#ifdef __linux__
+#include <cstring>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace fcc;
+
+#ifdef __linux__
+
+InstructionCounter::InstructionCounter() {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+  Attr.disabled = 1;
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  Fd = static_cast<int>(syscall(SYS_perf_event_open, &Attr, /*pid=*/0,
+                                /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+InstructionCounter::~InstructionCounter() {
+  if (Fd >= 0)
+    close(Fd);
+}
+
+void InstructionCounter::start() {
+  if (Fd < 0)
+    return;
+  ioctl(Fd, PERF_EVENT_IOC_RESET, 0);
+  ioctl(Fd, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+uint64_t InstructionCounter::stop() {
+  if (Fd < 0)
+    return 0;
+  ioctl(Fd, PERF_EVENT_IOC_DISABLE, 0);
+  uint64_t Count = 0;
+  if (read(Fd, &Count, sizeof(Count)) != sizeof(Count))
+    return 0;
+  return Count;
+}
+
+#else // !__linux__
+
+InstructionCounter::InstructionCounter() = default;
+InstructionCounter::~InstructionCounter() = default;
+void InstructionCounter::start() {}
+uint64_t InstructionCounter::stop() { return 0; }
+
+#endif

@@ -1,0 +1,47 @@
+//===- support/PerfCounters.h - Hardware counter sampling -------*- C++ -*-===//
+///
+/// \file
+/// A minimal instructions-retired counter for the benchmark driver, backed
+/// by perf_event_open on Linux. Hardware counters are not always available
+/// (containers, CI runners, non-Linux hosts, locked-down paranoid levels),
+/// so construction probes once and available() gates every use; callers
+/// emit null instead of a number when the probe fails. Instructions retired
+/// is the stable signal for a regression gate — unlike wall time it barely
+/// varies across runs of a deterministic workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_PERFCOUNTERS_H
+#define FCC_SUPPORT_PERFCOUNTERS_H
+
+#include <cstdint>
+
+namespace fcc {
+
+/// Counts instructions retired by the calling thread between start() and
+/// stop(). One counter per object; not thread-safe.
+class InstructionCounter {
+public:
+  InstructionCounter();
+  ~InstructionCounter();
+
+  InstructionCounter(const InstructionCounter &) = delete;
+  InstructionCounter &operator=(const InstructionCounter &) = delete;
+
+  /// True when the hardware counter opened; false means start()/stop() are
+  /// no-ops and stop() returns 0.
+  bool available() const { return Fd >= 0; }
+
+  /// Resets and enables the counter.
+  void start();
+
+  /// Disables the counter and returns instructions retired since start().
+  uint64_t stop();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_PERFCOUNTERS_H

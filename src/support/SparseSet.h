@@ -1,0 +1,149 @@
+//===- support/SparseSet.h - O(1) set/map over dense ids --------*- C++ -*-===//
+///
+/// \file
+/// The classic sparse-set representation (Briggs & Torczon): a sparse array
+/// mapping id -> dense position plus a dense array of the members, giving
+/// O(1) insert/erase/test and — the property the hot paths buy it for —
+/// O(members) clear() regardless of universe size, with no per-operation
+/// allocation after the one-time universe sizing. Iteration order is
+/// insertion order, which is deterministic for deterministic callers.
+///
+/// SparseMap extends the dense entries with a value per key; the coalescer
+/// uses it to replace the per-block std::map scratch (claimed-set tracking,
+/// last-use positions) that used to allocate a node per entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SUPPORT_SPARSESET_H
+#define FCC_SUPPORT_SPARSESET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fcc {
+
+/// Set of unsigned ids in [0, universe). clear() is O(size()).
+class SparseSet {
+public:
+  SparseSet() = default;
+  explicit SparseSet(unsigned Universe) { resizeUniverse(Universe); }
+
+  /// Grows the universe (members are preserved; shrinking unsupported).
+  void resizeUniverse(unsigned Universe) {
+    assert(Universe >= Sparse.size() && "sparse sets never shrink");
+    Sparse.resize(Universe, 0);
+  }
+
+  unsigned universe() const { return static_cast<unsigned>(Sparse.size()); }
+  unsigned size() const { return static_cast<unsigned>(Dense.size()); }
+  bool empty() const { return Dense.empty(); }
+
+  bool contains(unsigned Id) const {
+    assert(Id < Sparse.size() && "id out of universe");
+    unsigned Pos = Sparse[Id];
+    return Pos < Dense.size() && Dense[Pos] == Id;
+  }
+
+  /// Inserts \p Id; returns true when it was new.
+  bool insert(unsigned Id) {
+    if (contains(Id))
+      return false;
+    Sparse[Id] = static_cast<unsigned>(Dense.size());
+    Dense.push_back(Id);
+    return true;
+  }
+
+  /// Erases \p Id by swapping the last member into its slot; returns true
+  /// when it was a member. Note erase perturbs iteration order.
+  bool erase(unsigned Id) {
+    if (!contains(Id))
+      return false;
+    unsigned Pos = Sparse[Id];
+    unsigned Last = Dense.back();
+    Dense[Pos] = Last;
+    Sparse[Last] = Pos;
+    Dense.pop_back();
+    return true;
+  }
+
+  /// O(size()) — untouched sparse slots keep stale values by design.
+  void clear() { Dense.clear(); }
+
+  /// Members in insertion order (erase() may have swapped entries).
+  const std::vector<unsigned> &members() const { return Dense; }
+
+  size_t bytes() const {
+    return Sparse.capacity() * sizeof(unsigned) +
+           Dense.capacity() * sizeof(unsigned);
+  }
+
+private:
+  std::vector<unsigned> Sparse; // id -> position in Dense (maybe stale)
+  std::vector<unsigned> Dense;  // the members
+};
+
+/// Map from unsigned ids to \p ValueT with sparse-set mechanics: O(1)
+/// lookup/insert, O(entries) clear, no per-entry allocation.
+template <typename ValueT> class SparseMap {
+public:
+  struct Entry {
+    unsigned Key;
+    ValueT Value;
+  };
+
+  SparseMap() = default;
+  explicit SparseMap(unsigned Universe) { resizeUniverse(Universe); }
+
+  void resizeUniverse(unsigned Universe) {
+    assert(Universe >= Sparse.size() && "sparse maps never shrink");
+    Sparse.resize(Universe, 0);
+  }
+
+  unsigned universe() const { return static_cast<unsigned>(Sparse.size()); }
+  unsigned size() const { return static_cast<unsigned>(Dense.size()); }
+  bool empty() const { return Dense.empty(); }
+
+  bool contains(unsigned Key) const {
+    assert(Key < Sparse.size() && "key out of universe");
+    unsigned Pos = Sparse[Key];
+    return Pos < Dense.size() && Dense[Pos].Key == Key;
+  }
+
+  /// Returns the value slot for \p Key, default-constructing it on first
+  /// touch (std::map::operator[] semantics).
+  ValueT &operator[](unsigned Key) {
+    if (!contains(Key)) {
+      Sparse[Key] = static_cast<unsigned>(Dense.size());
+      Dense.push_back(Entry{Key, ValueT()});
+    }
+    return Dense[Sparse[Key]].Value;
+  }
+
+  /// Pointer to \p Key's value, or nullptr when absent.
+  const ValueT *lookup(unsigned Key) const {
+    return contains(Key) ? &Dense[Sparse[Key]].Value : nullptr;
+  }
+  ValueT *lookup(unsigned Key) {
+    return contains(Key) ? &Dense[Sparse[Key]].Value : nullptr;
+  }
+
+  void clear() { Dense.clear(); }
+
+  /// Entries in insertion order.
+  const std::vector<Entry> &entries() const { return Dense; }
+
+  size_t bytes() const {
+    return Sparse.capacity() * sizeof(unsigned) +
+           Dense.capacity() * sizeof(Entry);
+  }
+
+private:
+  std::vector<unsigned> Sparse; // key -> position in Dense (maybe stale)
+  std::vector<Entry> Dense;
+};
+
+} // namespace fcc
+
+#endif // FCC_SUPPORT_SPARSESET_H

@@ -78,7 +78,14 @@ TEST(DominanceForestTest, SiblingArmsShareTheDominatingParent) {
   EXPECT_EQ(DF.nodes()[NE].Parent, -1);
   EXPECT_EQ(DF.nodes()[NL].Parent, NE);
   EXPECT_EQ(DF.nodes()[NR].Parent, NE);
-  EXPECT_EQ(DF.nodes()[NE].Children.size(), 2u);
+  EXPECT_EQ(DF.numChildren(NE), 2u);
+  // The first-child/next-sibling links preserve attach order, which is node
+  // creation order (ascending indices).
+  std::vector<int> Kids;
+  DF.forEachChild(NE, [&](unsigned C) { Kids.push_back(static_cast<int>(C)); });
+  ASSERT_EQ(Kids.size(), 2u);
+  EXPECT_LT(Kids[0], Kids[1]);
+  EXPECT_EQ(Kids[0] + Kids[1], NL + NR);
 }
 
 TEST(DominanceForestTest, NonDominatingMembersBecomeSeparateRoots) {

@@ -1,0 +1,146 @@
+//===- tests/support/SparseSetTest.cpp ------------------------------------===//
+
+#include "support/SparseSet.h"
+
+#include "support/SplitMix64.h"
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+
+using namespace fcc;
+
+namespace {
+
+TEST(SparseSetTest, InsertContainsErase) {
+  SparseSet S(16);
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(3));
+  EXPECT_FALSE(S.insert(3)) << "duplicate insert";
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_TRUE(S.insert(15));
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(7));
+  EXPECT_TRUE(S.erase(3));
+  EXPECT_FALSE(S.erase(3)) << "double erase";
+  EXPECT_FALSE(S.contains(3));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(SparseSetTest, ClearIsMembershipOnly) {
+  SparseSet S(8);
+  S.insert(1);
+  S.insert(5);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  // Stale sparse slots must not fake membership after clear().
+  for (unsigned Id = 0; Id != 8; ++Id)
+    EXPECT_FALSE(S.contains(Id)) << Id;
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_TRUE(S.contains(5));
+}
+
+TEST(SparseSetTest, MembersInInsertionOrder) {
+  SparseSet S(8);
+  for (unsigned Id : {4u, 1u, 6u, 2u})
+    S.insert(Id);
+  EXPECT_EQ(S.members(), (std::vector<unsigned>{4, 1, 6, 2}));
+}
+
+TEST(SparseSetTest, UniverseGrowthPreservesMembers) {
+  SparseSet S(4);
+  S.insert(2);
+  S.resizeUniverse(64);
+  EXPECT_TRUE(S.contains(2));
+  EXPECT_TRUE(S.insert(63));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(SparseSetTest, MatchesReferenceSetUnderRandomOps) {
+  SparseSet S(256);
+  std::set<unsigned> Ref;
+  SplitMix64 Rng(99);
+  for (unsigned Op = 0; Op != 20000; ++Op) {
+    unsigned Id = static_cast<unsigned>(Rng.nextBelow(256));
+    switch (Rng.nextBelow(4)) {
+    case 0:
+    case 1:
+      EXPECT_EQ(S.insert(Id), Ref.insert(Id).second);
+      break;
+    case 2:
+      EXPECT_EQ(S.erase(Id), Ref.erase(Id) != 0);
+      break;
+    default:
+      if (Rng.chancePercent(5)) {
+        S.clear();
+        Ref.clear();
+      } else {
+        EXPECT_EQ(S.contains(Id), Ref.count(Id) != 0);
+      }
+      break;
+    }
+    ASSERT_EQ(S.size(), Ref.size());
+  }
+  std::set<unsigned> Members(S.members().begin(), S.members().end());
+  EXPECT_EQ(Members, Ref);
+}
+
+TEST(SparseMapTest, OperatorBracketDefaultConstructs) {
+  SparseMap<unsigned> M(8);
+  EXPECT_EQ(M[3], 0u) << "first touch default-constructs";
+  M[3] = 7;
+  EXPECT_EQ(M[3], 7u);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(SparseMapTest, LookupReturnsNullWhenAbsent) {
+  SparseMap<int> M(8);
+  EXPECT_EQ(M.lookup(2), nullptr);
+  M[2] = -5;
+  ASSERT_NE(M.lookup(2), nullptr);
+  EXPECT_EQ(*M.lookup(2), -5);
+  M.clear();
+  EXPECT_EQ(M.lookup(2), nullptr) << "stale slot after clear";
+}
+
+TEST(SparseMapTest, EntriesInInsertionOrder) {
+  SparseMap<unsigned> M(16);
+  M[9] = 1;
+  M[2] = 2;
+  M[11] = 3;
+  M[2] = 4; // update, not re-insert
+  ASSERT_EQ(M.entries().size(), 3u);
+  EXPECT_EQ(M.entries()[0].Key, 9u);
+  EXPECT_EQ(M.entries()[1].Key, 2u);
+  EXPECT_EQ(M.entries()[1].Value, 4u);
+  EXPECT_EQ(M.entries()[2].Key, 11u);
+}
+
+TEST(SparseMapTest, MatchesReferenceMapUnderRandomOps) {
+  SparseMap<uint64_t> M(128);
+  std::map<unsigned, uint64_t> Ref;
+  SplitMix64 Rng(7);
+  for (unsigned Op = 0; Op != 20000; ++Op) {
+    unsigned Key = static_cast<unsigned>(Rng.nextBelow(128));
+    if (Rng.chancePercent(60)) {
+      uint64_t Value = Rng.next();
+      M[Key] = Value;
+      Ref[Key] = Value;
+    } else if (Rng.chancePercent(5)) {
+      M.clear();
+      Ref.clear();
+    } else {
+      auto It = Ref.find(Key);
+      const uint64_t *Found = M.lookup(Key);
+      if (It == Ref.end()) {
+        EXPECT_EQ(Found, nullptr);
+      } else {
+        ASSERT_NE(Found, nullptr);
+        EXPECT_EQ(*Found, It->second);
+      }
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+  }
+}
+
+} // namespace

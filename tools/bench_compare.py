@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate and compare fcc-bench reports (schema fcc-bench/1).
+
+Validate a report's schema:
+
+    bench_compare.py --validate BENCH.json
+
+Compare a fresh run against the checked-in baseline (the CI perf gate):
+
+    bench_compare.py bench/baseline.json BENCH.json \
+        [--time-tol 0.15] [--mem-tol 0.05]
+
+A benchmark regresses when its median time exceeds baseline by more than
+the time tolerance, or its deterministic peak bytes drift beyond the memory
+tolerance in either direction.  A baseline entry may carry an optional
+"time_tol" field overriding the global time tolerance for that benchmark
+(for workloads known to be noisier).  Instructions retired are reported
+informationally when both sides have them, but never gate: CI hardware
+frequently lacks counters, and a gate that only fires on some runners would
+be flaky by construction.
+
+Exit status: 0 ok, 1 regression or validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "fcc-bench/1"
+TOP_FIELDS = {
+    "schema": str,
+    "suite": str,
+    "warmup": int,
+    "repeats": int,
+    "benchmarks": list,
+}
+BENCH_FIELDS = {
+    "name": str,
+    "workload": str,
+    "reps": int,
+    "ns_median": int,
+    "ns_mad": int,
+    "peak_bytes": int,
+}
+
+
+def validate(report, path):
+    """Returns a list of schema-violation messages (empty when valid)."""
+    errors = []
+    if not isinstance(report, dict):
+        return [f"{path}: top level is not an object"]
+    for field, kind in TOP_FIELDS.items():
+        if field not in report:
+            errors.append(f"{path}: missing field '{field}'")
+        elif not isinstance(report[field], kind):
+            errors.append(f"{path}: field '{field}' is not {kind.__name__}")
+    if report.get("schema") != SCHEMA:
+        errors.append(f"{path}: schema is {report.get('schema')!r}, "
+                      f"expected {SCHEMA!r}")
+    seen = set()
+    for i, bench in enumerate(report.get("benchmarks", [])):
+        where = f"{path}: benchmarks[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for field, kind in BENCH_FIELDS.items():
+            if field not in bench:
+                errors.append(f"{where} missing field '{field}'")
+            elif not isinstance(bench[field], kind) or isinstance(
+                    bench[field], bool):
+                errors.append(f"{where} field '{field}' is not {kind.__name__}")
+        if "instructions_retired" not in bench:
+            errors.append(f"{where} missing field 'instructions_retired'")
+        elif bench["instructions_retired"] is not None and not isinstance(
+                bench["instructions_retired"], int):
+            errors.append(f"{where} field 'instructions_retired' is neither "
+                          "int nor null")
+        name = bench.get("name")
+        if name in seen:
+            errors.append(f"{where} duplicate benchmark name {name!r}")
+        seen.add(name)
+    return errors
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(1)
+
+
+def compare(baseline, fresh, time_tol, mem_tol):
+    """Prints a comparison table; returns the list of regression messages."""
+    base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    fresh_by_name = {b["name"]: b for b in fresh["benchmarks"]}
+    regressions = []
+
+    print(f"{'benchmark':<28} {'base ns':>12} {'fresh ns':>12} "
+          f"{'ratio':>7} {'base bytes':>12} {'fresh bytes':>12}")
+    for name, base in base_by_name.items():
+        new = fresh_by_name.get(name)
+        if new is None:
+            regressions.append(f"{name}: missing from fresh report")
+            continue
+        tol = base.get("time_tol", time_tol)
+        ratio = (new["ns_median"] / base["ns_median"]
+                 if base["ns_median"] else float("inf"))
+        flags = []
+        if base["ns_median"] and ratio > 1.0 + tol:
+            flags.append(f"time {ratio:.2f}x > +{tol:.0%}")
+        base_bytes, new_bytes = base["peak_bytes"], new["peak_bytes"]
+        if base_bytes and abs(new_bytes - base_bytes) > mem_tol * base_bytes:
+            flags.append(f"peak bytes {base_bytes} -> {new_bytes} "
+                         f"(beyond {mem_tol:.0%})")
+        marker = "  REGRESSED: " + "; ".join(flags) if flags else ""
+        print(f"{name:<28} {base['ns_median']:>12} {new['ns_median']:>12} "
+              f"{ratio:>7.2f} {base_bytes:>12} {new_bytes:>12}{marker}")
+        if flags:
+            regressions.append(f"{name}: " + "; ".join(flags))
+        bi, ni = base.get("instructions_retired"), new.get(
+            "instructions_retired")
+        if bi and ni:
+            print(f"{'':<28} instructions retired: {bi} -> {ni} "
+                  f"({ni / bi:.3f}x, informational)")
+
+    for name in fresh_by_name:
+        if name not in base_by_name:
+            print(f"{name:<28} (new benchmark, no baseline)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("reports", nargs="+",
+                        help="--validate: one report; compare: baseline fresh")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check the report(s) and exit")
+    parser.add_argument("--time-tol", type=float, default=0.15,
+                        help="allowed median-time growth (default 0.15)")
+    parser.add_argument("--mem-tol", type=float, default=0.05,
+                        help="allowed peak-bytes drift (default 0.05)")
+    args = parser.parse_args()
+
+    if args.validate:
+        errors = []
+        for path in args.reports:
+            errors += validate(load(path), path)
+        for err in errors:
+            print(err, file=sys.stderr)
+        if not errors:
+            print(f"{', '.join(args.reports)}: valid {SCHEMA}")
+        return 1 if errors else 0
+
+    if len(args.reports) != 2:
+        parser.error("compare mode takes exactly: baseline fresh")
+    baseline, fresh = load(args.reports[0]), load(args.reports[1])
+    for report, path in ((baseline, args.reports[0]), (fresh,
+                                                       args.reports[1])):
+        errors = validate(report, path)
+        if errors:
+            for err in errors:
+                print(err, file=sys.stderr)
+            return 1
+
+    regressions = compare(baseline, fresh, args.time_tol, args.mem_tol)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for reg in regressions:
+            print(f"  {reg}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

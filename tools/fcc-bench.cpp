@@ -1,0 +1,376 @@
+//===- tools/fcc-bench.cpp - Unified benchmark driver ---------------------===//
+//
+// One driver for the repository's performance story: named suites of
+// benchmarks over the paper pipelines and the allocation-lean support
+// structures, measured with an explicit warmup phase and median/MAD over
+// repetitions, emitted as a fixed-schema JSON report (BENCH.json) that
+// tools/bench_compare.py diffs against bench/baseline.json in CI.
+//
+//   fcc-bench --suite=ci|smoke [options]
+//
+//   --suite=NAME   which suite to run (required): 'ci' is the perf gate's
+//                  workload, 'smoke' a seconds-long variant for ctest
+//   --out=PATH     write the JSON report to PATH ('-' for stdout, default)
+//   --warmup=N     override the suite's warmup iterations
+//   --repeats=N    override the suite's timed repetitions
+//   --list         print the suite's benchmark names and exit
+//
+// Schema (fcc-bench/1): every field below is always present; ns_median,
+// ns_mad and instructions_retired are the only run-to-run unstable fields
+// (instructions_retired is null when hardware counters are unavailable).
+//
+//   {"schema": "fcc-bench/1", "suite": S, "warmup": W, "repeats": R,
+//    "benchmarks": [{"name", "workload", "reps", "ns_median", "ns_mad",
+//                    "peak_bytes", "instructions_retired"}, ...]}
+//
+// Exit status: 0 ok, 2 usage/setup error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
+#include "baseline/InterferenceGraph.h"
+#include "coalesce/DominanceForest.h"
+#include "coalesce/FastCoalescer.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "pipeline/Pipeline.h"
+#include "ssa/SSABuilder.h"
+#include "support/Arena.h"
+#include "support/ArgParse.h"
+#include "support/PerfCounters.h"
+#include "support/SparseSet.h"
+#include "workload/KernelSuite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+/// Workload knobs one suite fixes for every benchmark.
+struct SuiteParams {
+  unsigned Warmup;
+  unsigned Repeats;
+  unsigned PaperRoutines; ///< Prefix of paperSuite() the pipeline runs use.
+  unsigned GenBudget;     ///< Generator size budget for structure runs.
+};
+
+/// One benchmark: Run performs a single iteration and returns the
+/// deterministic byte footprint of the structures it built.
+struct Benchmark {
+  std::string Name;
+  std::string Workload;
+  std::function<size_t()> Run;
+};
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t medianOf(std::vector<uint64_t> Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+/// Median absolute deviation: the robust spread the comparator reports
+/// alongside the median (a run with high MAD is too noisy to gate on).
+uint64_t madOf(const std::vector<uint64_t> &Samples, uint64_t Median) {
+  std::vector<uint64_t> Dev;
+  Dev.reserve(Samples.size());
+  for (uint64_t S : Samples)
+    Dev.push_back(S > Median ? S - Median : Median - S);
+  return medianOf(std::move(Dev));
+}
+
+/// A generated function taken through critical-edge splitting and SSA
+/// construction, with the analyses the structure benchmarks consume.
+struct SSAFixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<Liveness> LV;
+
+  explicit SSAFixture(unsigned SizeBudget, uint64_t Seed) {
+    M = std::make_unique<Module>();
+    GeneratorOptions Opts;
+    Opts.Seed = Seed;
+    Opts.SizeBudget = SizeBudget;
+    Opts.NumVars = 14;
+    F = generateProgram(*M, "bench", Opts);
+    splitCriticalEdges(*F);
+    DT = std::make_unique<DominatorTree>(*F);
+    SSABuildOptions BuildOpts;
+    BuildOpts.FoldCopies = true;
+    buildSSA(*F, *DT, BuildOpts);
+    LV = std::make_unique<Liveness>(*F);
+  }
+};
+
+std::string scaleTag(const SuiteParams &P) {
+  return "paper" + std::to_string(P.PaperRoutines) + "/gen" +
+         std::to_string(P.GenBudget);
+}
+
+/// Builds the benchmark list for \p P. Every suite runs the same names so
+/// baselines stay comparable; only the workload sizes differ.
+std::vector<Benchmark> buildSuite(const SuiteParams &P) {
+  std::vector<Benchmark> Benches;
+  std::string Tag = scaleTag(P);
+
+  // Table 2's clock: the paper pipelines end to end (materialize + compile)
+  // over a deterministic prefix of the paper suite.
+  auto AddPipeline = [&](const char *Name, PipelineKind Kind) {
+    auto Specs =
+        std::make_shared<std::vector<RoutineSpec>>(paperSuite(P.PaperRoutines));
+    Benches.push_back({Name, Tag, [Specs, Kind]() -> size_t {
+                         size_t Peak = 0;
+                         for (const RoutineSpec &Spec : *Specs) {
+                           auto M = Spec.materialize();
+                           for (auto &F : M->functions()) {
+                             PipelineResult R = runPipeline(*F, Kind);
+                             Peak = std::max(Peak, R.PeakBytes);
+                           }
+                         }
+                         return Peak;
+                       }});
+  };
+  AddPipeline("pipeline/new", PipelineKind::New);
+  AddPipeline("pipeline/standard", PipelineKind::Standard);
+  AddPipeline("pipeline/briggs_improved", PipelineKind::BriggsImproved);
+
+  // The retrofitted per-function analyses and structures, each over one
+  // generated SSA function (guards Tables 1 and 3's structure costs).
+  auto Fix = std::make_shared<SSAFixture>(P.GenBudget, /*Seed=*/77);
+
+  Benches.push_back({"liveness/solve", Tag, [Fix]() -> size_t {
+                       Liveness LV(*Fix->F);
+                       return LV.bytes();
+                     }});
+
+  Benches.push_back({"coalesce/partition", Tag, [Fix]() -> size_t {
+                       FastCoalescer Co(*Fix->F, *Fix->DT, *Fix->LV);
+                       Co.computePartition();
+                       return Co.stats().PeakBytes;
+                     }});
+
+  {
+    // One forest member per block: the worst-case single-set forest.
+    auto Members = std::make_shared<std::vector<ForestMember>>();
+    for (const auto &B : Fix->F->blocks())
+      Members->push_back(
+          {Fix->F->variable(B->id() % Fix->F->numVariables()), B.get(), 1});
+    Benches.push_back({"domforest/build", Tag, [Fix, Members]() -> size_t {
+                         DominanceForest DF(*Members, *Fix->DT);
+                         return DF.bytes();
+                       }});
+  }
+
+  Benches.push_back({"igraph/adjacency_build", Tag, [Fix]() -> size_t {
+                       InterferenceGraph::BuildOptions Opts;
+                       Opts.BuildAdjacencyLists = true;
+                       InterferenceGraph G(*Fix->F, *Fix->LV, Opts);
+                       return G.bytes();
+                     }});
+
+  // Micro: arena churn in the coalescer's merge pattern — many short
+  // arrays, wholesale reset — and sparse-set churn in the scratch-map
+  // pattern. Sized off GenBudget so suites scale together.
+  unsigned Micro = P.GenBudget * 64;
+  Benches.push_back(
+      {"arena/churn", "iters" + std::to_string(Micro), [Micro]() -> size_t {
+         Arena A(4096);
+         for (unsigned Round = 0; Round != 8; ++Round) {
+           for (unsigned I = 0; I != Micro; ++I) {
+             unsigned *P = A.allocateArray<unsigned>((I % 13) + 2);
+             P[0] = I; // touch the memory
+           }
+           A.reset();
+         }
+         return A.bytesReserved();
+       }});
+  Benches.push_back(
+      {"sparseset/churn", "iters" + std::to_string(Micro), [Micro]() -> size_t {
+         SparseSet S;
+         S.resizeUniverse(1024);
+         unsigned Hits = 0;
+         for (unsigned Round = 0; Round != 8; ++Round) {
+           for (unsigned I = 0; I != Micro; ++I) {
+             S.insert((I * 7) & 1023);
+             Hits += S.contains((I * 13) & 1023);
+           }
+           S.clear();
+         }
+         // Fold Hits in so the loop cannot be optimized out.
+         return S.bytes() + (Hits & 1);
+       }});
+
+  return Benches;
+}
+
+struct BenchRecord {
+  std::string Name;
+  std::string Workload;
+  unsigned Reps;
+  uint64_t NsMedian;
+  uint64_t NsMad;
+  size_t PeakBytes;
+  bool HaveInstructions;
+  uint64_t Instructions;
+};
+
+BenchRecord measure(const Benchmark &B, unsigned Warmup, unsigned Repeats,
+                    InstructionCounter &Counter) {
+  for (unsigned I = 0; I != Warmup; ++I)
+    B.Run();
+
+  std::vector<uint64_t> Ns, Instr;
+  size_t PeakBytes = 0;
+  for (unsigned I = 0; I != Repeats; ++I) {
+    Counter.start();
+    uint64_t T0 = nowNs();
+    PeakBytes = B.Run();
+    uint64_t T1 = nowNs();
+    uint64_t Retired = Counter.stop();
+    Ns.push_back(T1 - T0);
+    if (Counter.available())
+      Instr.push_back(Retired);
+  }
+
+  BenchRecord R;
+  R.Name = B.Name;
+  R.Workload = B.Workload;
+  R.Reps = Repeats;
+  R.NsMedian = medianOf(Ns);
+  R.NsMad = madOf(Ns, R.NsMedian);
+  R.PeakBytes = PeakBytes;
+  R.HaveInstructions = !Instr.empty();
+  R.Instructions = Instr.empty() ? 0 : medianOf(std::move(Instr));
+  return R;
+}
+
+void writeJson(std::FILE *Out, const std::string &Suite, unsigned Warmup,
+               unsigned Repeats, const std::vector<BenchRecord> &Records) {
+  std::fprintf(Out,
+               "{\"schema\":\"fcc-bench/1\",\"suite\":\"%s\","
+               "\"warmup\":%u,\"repeats\":%u,\"benchmarks\":[",
+               Suite.c_str(), Warmup, Repeats);
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    std::fprintf(Out,
+                 "%s\n  {\"name\":\"%s\",\"workload\":\"%s\",\"reps\":%u,"
+                 "\"ns_median\":%llu,\"ns_mad\":%llu,\"peak_bytes\":%zu,"
+                 "\"instructions_retired\":",
+                 I ? "," : "", R.Name.c_str(), R.Workload.c_str(), R.Reps,
+                 static_cast<unsigned long long>(R.NsMedian),
+                 static_cast<unsigned long long>(R.NsMad), R.PeakBytes);
+    if (R.HaveInstructions)
+      std::fprintf(Out, "%llu}",
+                   static_cast<unsigned long long>(R.Instructions));
+    else
+      std::fprintf(Out, "null}");
+  }
+  std::fprintf(Out, "\n]}\n");
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --suite=ci|smoke [--out=PATH] [--warmup=N]\n"
+               "       [--repeats=N] [--list]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Suite, OutPath = "-";
+  int64_t WarmupOverride = -1, RepeatsOverride = -1;
+  bool ListOnly = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--suite=", 0) == 0) {
+      Suite = Arg.substr(8);
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(6);
+    } else if (Arg.rfind("--warmup=", 0) == 0) {
+      uint64_t V = 0;
+      if (!parseUint64Arg(Arg.substr(9), V)) {
+        std::fprintf(stderr, "fcc-bench: bad --warmup argument '%s'\n",
+                     Arg.substr(9).c_str());
+        return 2;
+      }
+      WarmupOverride = static_cast<int64_t>(V);
+    } else if (Arg.rfind("--repeats=", 0) == 0) {
+      uint64_t V = 0;
+      if (!parseUint64Arg(Arg.substr(10), V) || V == 0) {
+        std::fprintf(stderr, "fcc-bench: bad --repeats argument '%s'\n",
+                     Arg.substr(10).c_str());
+        return 2;
+      }
+      RepeatsOverride = static_cast<int64_t>(V);
+    } else if (Arg == "--list") {
+      ListOnly = true;
+    } else {
+      std::fprintf(stderr, "fcc-bench: unknown argument '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+
+  SuiteParams Params;
+  if (Suite == "ci") {
+    Params = {/*Warmup=*/3, /*Repeats=*/21, /*PaperRoutines=*/40,
+              /*GenBudget=*/200};
+  } else if (Suite == "smoke") {
+    Params = {/*Warmup=*/1, /*Repeats=*/3, /*PaperRoutines=*/6,
+              /*GenBudget=*/60};
+  } else {
+    std::fprintf(stderr, "fcc-bench: unknown or missing --suite '%s'\n",
+                 Suite.c_str());
+    return usage(Argv[0]);
+  }
+  if (WarmupOverride >= 0)
+    Params.Warmup = static_cast<unsigned>(WarmupOverride);
+  if (RepeatsOverride > 0)
+    Params.Repeats = static_cast<unsigned>(RepeatsOverride);
+
+  std::vector<Benchmark> Benches = buildSuite(Params);
+  if (ListOnly) {
+    for (const Benchmark &B : Benches)
+      std::printf("%s (%s)\n", B.Name.c_str(), B.Workload.c_str());
+    return 0;
+  }
+
+  InstructionCounter Counter;
+  std::vector<BenchRecord> Records;
+  Records.reserve(Benches.size());
+  for (const Benchmark &B : Benches)
+    Records.push_back(measure(B, Params.Warmup, Params.Repeats, Counter));
+
+  std::FILE *Out = stdout;
+  if (OutPath != "-") {
+    Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "fcc-bench: cannot open '%s' for writing\n",
+                   OutPath.c_str());
+      return 2;
+    }
+  }
+  writeJson(Out, Suite, Params.Warmup, Params.Repeats, Records);
+  if (Out != stdout)
+    std::fclose(Out);
+  return 0;
+}
