@@ -1,0 +1,166 @@
+//===- ir/StructuralHash.cpp ----------------------------------------------===//
+
+#include "ir/StructuralHash.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Variable.h"
+
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+/// splitmix64's finalizer: a full-avalanche 64-bit mix.
+constexpr uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// murmur3's finalizer — different multipliers, so the two lanes decorrelate
+/// even though they absorb the same token stream.
+constexpr uint64_t mix64b(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+/// Token tags keep differently-shaped walks from colliding by accident
+/// (e.g. an immediate 3 never mixes like a variable with canonical id 3).
+enum Tag : uint64_t {
+  TagFunction = 0xf1,
+  TagParam = 0xf2,
+  TagBlock = 0xf3,
+  TagPhi = 0xf4,
+  TagInst = 0xf5,
+  TagVarUse = 0xf6,
+  TagImm = 0xf7,
+  TagDef = 0xf8,
+  TagSucc = 0xf9,
+  TagNoDef = 0xfa,
+  TagModule = 0xfb,
+};
+
+} // namespace
+
+Hasher128::Hasher128()
+    : Hi(0x9e3779b97f4a7c15ULL), Lo(0x2545f4914f6cdd1dULL) {}
+
+void Hasher128::absorb(uint64_t Token) {
+  Hi = mix64(Hi ^ Token);
+  Lo = mix64b(Lo + (Token | 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+void Hasher128::absorbBytes(const std::string &Bytes) {
+  absorb(Bytes.size());
+  uint64_t Word = 0;
+  unsigned Fill = 0;
+  for (char C : Bytes) {
+    Word |= static_cast<uint64_t>(static_cast<unsigned char>(C))
+            << (8 * Fill);
+    if (++Fill == 8) {
+      absorb(Word);
+      Word = 0;
+      Fill = 0;
+    }
+  }
+  if (Fill != 0)
+    absorb(Word);
+}
+
+namespace {
+
+/// One function's canonical walk. Canonical variable ids are assigned on
+/// first encounter (parameters first, then walk order), canonical block ids
+/// are list positions — exactly the numbering an isomorphic parse would
+/// reproduce, so names never enter the digest.
+class FunctionHasher {
+public:
+  explicit FunctionHasher(const Function &F, Hasher128 &H) : F(F), H(H) {
+    CanonVar.assign(F.numVariables(), ~0u);
+  }
+
+  void run() {
+    H.absorb(TagFunction);
+    H.absorb(F.numBlocks());
+    H.absorb(static_cast<uint64_t>(F.params().size()));
+    for (const Variable *P : F.params()) {
+      H.absorb(TagParam);
+      H.absorb(canon(P));
+    }
+    for (const auto &B : F.blocks()) {
+      H.absorb(TagBlock);
+      H.absorb(B->id());
+      for (const auto &Phi : B->phis())
+        hashInst(*Phi, TagPhi);
+      for (const auto &I : B->insts())
+        hashInst(*I, TagInst);
+    }
+  }
+
+private:
+  unsigned canon(const Variable *V) {
+    unsigned Id = V->id();
+    if (CanonVar[Id] == ~0u)
+      CanonVar[Id] = NextCanon++;
+    return CanonVar[Id];
+  }
+
+  void hashInst(const Instruction &I, uint64_t Tag) {
+    H.absorb(Tag);
+    H.absorb(static_cast<uint64_t>(I.opcode()));
+    if (const Variable *D = I.getDef()) {
+      H.absorb(TagDef);
+      H.absorb(canon(D));
+    } else {
+      H.absorb(TagNoDef);
+    }
+    for (const Operand &O : I.operands()) {
+      if (O.isVar()) {
+        H.absorb(TagVarUse);
+        H.absorb(canon(O.getVar()));
+      } else {
+        H.absorb(TagImm);
+        H.absorb(static_cast<uint64_t>(O.getImm()));
+      }
+    }
+    for (const BasicBlock *S : I.successors()) {
+      H.absorb(TagSucc);
+      H.absorb(S->id());
+    }
+  }
+
+  const Function &F;
+  Hasher128 &H;
+  std::vector<unsigned> CanonVar;
+  unsigned NextCanon = 0;
+};
+
+} // namespace
+
+Digest128 fcc::structuralHash(const Function &F) {
+  Hasher128 H;
+  FunctionHasher(F, H).run();
+  return H.digest();
+}
+
+Digest128 fcc::structuralHash(const Module &M) {
+  Hasher128 H;
+  H.absorb(TagModule);
+  H.absorb(M.size());
+  for (const auto &F : M.functions()) {
+    Digest128 D = structuralHash(*F);
+    H.absorb(D.Hi);
+    H.absorb(D.Lo);
+  }
+  return H.digest();
+}

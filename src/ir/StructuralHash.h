@@ -1,0 +1,86 @@
+//===- ir/StructuralHash.h - Alpha-canonical IR fingerprints ----*- C++ -*-===//
+///
+/// \file
+/// A structural fingerprint of parsed IR: a 128-bit digest over a canonical
+/// walk of a Function (or Module) in which every variable and block is
+/// replaced by a dense index assigned on first encounter. Two functions
+/// that differ only in variable, block or function *names* — alpha-variants
+/// of each other — therefore produce the same digest, while any structural
+/// mutation (a changed opcode or immediate, a swapped operand, an extra
+/// instruction, a retargeted edge) changes it.
+///
+/// The digest is a pure function of the IR structure: no pointers, no
+/// iteration over hashed containers, no locale- or platform-dependent
+/// conversions enter the mix, so a digest computed today matches one
+/// computed in another process, another run, or another build. That
+/// stability is what lets the result cache (src/server/ResultCache.h) use
+/// digests as durable content addresses, in the spirit of hash-consed
+/// artifact stores like LatticeHashForest.
+///
+/// What is deliberately *not* canonicalized: block order (the block list
+/// defines entry and textual layout), phi order within a block, and operand
+/// order. Reordered-but-equivalent programs may hash differently — the
+/// fingerprint under-approximates semantic equivalence, which is the safe
+/// direction for a cache key (a missed dedup costs a compile; a false merge
+/// would serve wrong results).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_IR_STRUCTURALHASH_H
+#define FCC_IR_STRUCTURALHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fcc {
+
+class Function;
+class Module;
+
+/// A 128-bit content digest. Collision-resistance is statistical, not
+/// cryptographic: two independent 64-bit mixing lanes give a birthday bound
+/// of ~2^-64 per pair, vanishing for any realistic cache population.
+struct Digest128 {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Digest128 &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Digest128 &O) const { return !(*this == O); }
+};
+
+/// Incremental two-lane mixer producing a Digest128. Deterministic across
+/// processes and platforms; absorb only values that are themselves stable
+/// (canonical indices, opcode ordinals, immediates, byte strings).
+class Hasher128 {
+public:
+  Hasher128();
+
+  /// Mixes one 64-bit token into both lanes.
+  void absorb(uint64_t Token);
+
+  /// Mixes a byte string (length-prefixed, so "ab"+"c" != "a"+"bc").
+  void absorbBytes(const std::string &Bytes);
+
+  Digest128 digest() const { return {Hi, Lo}; }
+
+private:
+  uint64_t Hi;
+  uint64_t Lo;
+};
+
+/// Alpha-canonical digest of one function. Excludes the function's own name
+/// and every variable/block name; includes parameter order, block structure,
+/// instruction opcodes/operands/immediates and CFG edges.
+Digest128 structuralHash(const Function &F);
+
+/// Digest of a whole module: the function count and each function's
+/// canonical digest, in module order. Function names are excluded, so
+/// modules that differ only in naming collide by design.
+Digest128 structuralHash(const Module &M);
+
+} // namespace fcc
+
+#endif // FCC_IR_STRUCTURALHASH_H

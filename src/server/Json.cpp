@@ -1,0 +1,284 @@
+//===- server/Json.cpp ----------------------------------------------------===//
+
+#include "server/Json.h"
+
+#include <cctype>
+
+using namespace fcc;
+using namespace fcc::json;
+
+const Value *Value::find(const std::string &Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Name);
+  return It == Obj.end() ? nullptr : &It->second;
+}
+
+int64_t Value::intOr(const std::string &Name, int64_t Default) const {
+  const Value *V = find(Name);
+  return V && V->K == Kind::Int ? V->I : Default;
+}
+
+bool Value::boolOr(const std::string &Name, bool Default) const {
+  const Value *V = find(Name);
+  return V && V->K == Kind::Bool ? V->B : Default;
+}
+
+std::string Value::strOr(const std::string &Name,
+                         const std::string &Default) const {
+  const Value *V = find(Name);
+  return V && V->K == Kind::Str ? V->S : Default;
+}
+
+namespace fcc {
+namespace json {
+
+/// Recursive-descent parser over a byte string. Depth is bounded so a
+/// hostile request ("[[[[...") cannot blow the daemon's stack.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(const std::string &What) {
+    Error = "json: " + What + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out, Depth);
+    if (C == '[')
+      return parseArray(Out, Depth);
+    if (C == '"') {
+      Out.K = Value::Kind::Str;
+      return parseString(Out.S);
+    }
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseInt(Out);
+    if (literal("true")) {
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return true;
+    }
+    if (literal("false")) {
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return true;
+    }
+    if (literal("null")) {
+      Out.K = Value::Kind::Null;
+      return true;
+    }
+    return fail("unexpected character");
+  }
+
+  bool parseObject(Value &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out.K = Value::Kind::Object;
+    skipSpace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':'");
+      Value Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.Obj[Key] = std::move(Member);
+      skipSpace();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(Value &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out.K = Value::Kind::Array;
+    skipSpace();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value Element;
+      if (!parseValue(Element, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(Element));
+      skipSpace();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']'");
+    }
+  }
+
+  /// Appends \p Code as UTF-8. The protocol only round-trips what our own
+  /// writers emit (\u00XX control escapes), but any BMP scalar is handled.
+  static void appendUtf8(std::string &S, unsigned Code) {
+    if (Code < 0x80) {
+      S += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      S += static_cast<char>(0xc0 | (Code >> 6));
+      S += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      S += static_cast<char>(0xe0 | (Code >> 12));
+      S += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      S += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseInt(Value &Out) {
+    bool Negative = consume('-');
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(
+                                  Text[Pos])))
+      return fail("expected digit");
+    // JSON forbids leading zeros ("01"); accepting them would make the
+    // same digits parse differently here than in any standard reader.
+    if (Text[Pos] == '0' && Pos + 1 < Text.size() &&
+        std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))
+      return fail("leading zero");
+    uint64_t Magnitude = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      unsigned Digit = static_cast<unsigned>(Text[Pos] - '0');
+      if (Magnitude > (UINT64_MAX - Digit) / 10)
+        return fail("integer overflow");
+      Magnitude = Magnitude * 10 + Digit;
+      ++Pos;
+    }
+    if (Pos < Text.size() &&
+        (Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E'))
+      return fail("fractional numbers are not supported");
+    // Range-check against int64_t, the protocol's integer type.
+    const uint64_t Limit =
+        Negative ? (1ULL << 63) : (1ULL << 63) - 1;
+    if (Magnitude > Limit)
+      return fail("integer overflow");
+    Out.K = Value::Kind::Int;
+    Out.I = Negative ? -static_cast<int64_t>(Magnitude - 1) - 1
+                     : static_cast<int64_t>(Magnitude);
+    return true;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+bool parse(const std::string &Text, Value &Out, std::string &Error) {
+  return Parser(Text, Error).run(Out);
+}
+
+} // namespace json
+} // namespace fcc

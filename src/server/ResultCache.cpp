@@ -1,0 +1,197 @@
+//===- server/ResultCache.cpp ---------------------------------------------===//
+
+#include "server/ResultCache.h"
+
+#include <cassert>
+
+using namespace fcc;
+
+namespace {
+
+/// Rounds \p N up to a power of two (at least 1).
+unsigned roundPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < (1u << 16))
+    P <<= 1;
+  return P;
+}
+
+size_t recordBytes(const FunctionRecord &F) {
+  size_t B = sizeof(FunctionRecord) + F.Name.size();
+  B += F.Compile.GraphBytesPerPass.size() * sizeof(size_t);
+  B += F.Compile.Phases.size() * sizeof(PhaseSample);
+  return B;
+}
+
+/// Fixed estimate for per-node map/list overhead, so even tiny alias nodes
+/// have nonzero cost and a flood of aliases still respects the budget.
+constexpr size_t NodeOverhead = 128;
+
+} // namespace
+
+size_t CacheValue::bytes() const {
+  size_t B = sizeof(CacheValue) + RewrittenText.size();
+  for (const FunctionRecord &F : Functions)
+    B += recordBytes(F);
+  return B;
+}
+
+ResultCache::ResultCache(Options Opts)
+    : Shards(roundPow2(Opts.Shards == 0 ? 1 : Opts.Shards)) {
+  ShardBudget = Opts.ByteBudget / Shards.size();
+  if (ShardBudget == 0)
+    ShardBudget = 1;
+}
+
+void ResultCache::touch(
+    Shard &S, std::unordered_map<CacheKey, Node, KeyHash>::iterator It) {
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruPos);
+}
+
+void ResultCache::enforceBudget(Shard &S) {
+  auto Pos = S.Lru.end();
+  while (S.Bytes > ShardBudget && Pos != S.Lru.begin()) {
+    --Pos;
+    auto It = S.Map.find(*Pos);
+    assert(It != S.Map.end() && "LRU key missing from map");
+    if (It->second.St == Node::State::InFlight)
+      continue; // Never evict a key someone is waiting on.
+    S.Bytes -= It->second.Cost;
+    Pos = S.Lru.erase(Pos);
+    S.Map.erase(It);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<ResultCache::TextHit>
+ResultCache::lookupText(const CacheKey &TextKey) {
+  CacheKey Target;
+  std::vector<std::string> Names;
+  {
+    Shard &S = shardFor(TextKey);
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Map.find(TextKey);
+    if (It == S.Map.end() || It->second.St != Node::State::Alias)
+      return std::nullopt;
+    Target = It->second.Target;
+    Names = It->second.FunctionNames;
+    touch(S, It);
+  }
+  // The alias and its payload may live in different shards; the locks are
+  // taken strictly in sequence, never nested.
+  Shard &S = shardFor(Target);
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Map.find(Target);
+  if (It == S.Map.end() || It->second.St != Node::State::Ready)
+    return std::nullopt; // Stale alias: payload evicted or still in flight.
+  touch(S, It);
+  return TextHit{It->second.Value, std::move(Names)};
+}
+
+ResultCache::StructResult
+ResultCache::lookupOrStart(const CacheKey &StructKey) {
+  Shard &S = shardFor(StructKey);
+  std::unique_lock<std::mutex> L(S.Mu);
+  while (true) {
+    auto It = S.Map.find(StructKey);
+    if (It == S.Map.end()) {
+      // Claim ownership: insert an in-flight marker other requesters of
+      // this key will block on until complete()/abort().
+      S.Lru.push_front(StructKey);
+      Node N;
+      N.St = Node::State::InFlight;
+      N.LruPos = S.Lru.begin();
+      S.Map.emplace(StructKey, std::move(N));
+      return {nullptr, /*Owner=*/true};
+    }
+    if (It->second.St == Node::State::Ready) {
+      touch(S, It);
+      return {It->second.Value, /*Owner=*/false};
+    }
+    assert(It->second.St == Node::State::InFlight &&
+           "structural key shadowed by an alias");
+    S.Ready.wait(L); // Re-find after wakeup: abort() may have erased it.
+  }
+}
+
+void ResultCache::complete(const CacheKey &StructKey,
+                           std::shared_ptr<const CacheValue> Value) {
+  Shard &S = shardFor(StructKey);
+  {
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Map.find(StructKey);
+    assert(It != S.Map.end() &&
+           It->second.St == Node::State::InFlight &&
+           "complete() without matching lookupOrStart()");
+    It->second.St = Node::State::Ready;
+    It->second.Cost = NodeOverhead + Value->bytes();
+    It->second.Value = std::move(Value);
+    S.Bytes += It->second.Cost;
+    touch(S, It);
+    Insertions.fetch_add(1, std::memory_order_relaxed);
+    enforceBudget(S);
+  }
+  S.Ready.notify_all();
+}
+
+void ResultCache::abort(const CacheKey &StructKey) {
+  Shard &S = shardFor(StructKey);
+  {
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Map.find(StructKey);
+    assert(It != S.Map.end() &&
+           It->second.St == Node::State::InFlight &&
+           "abort() without matching lookupOrStart()");
+    S.Lru.erase(It->second.LruPos);
+    S.Map.erase(It);
+  }
+  // Every waiter re-runs the find; the first to reacquire the lock becomes
+  // the new owner and retries the compile.
+  S.Ready.notify_all();
+}
+
+void ResultCache::addAlias(const CacheKey &TextKey, const CacheKey &StructKey,
+                           std::vector<std::string> FunctionNames) {
+  Shard &S = shardFor(TextKey);
+  std::lock_guard<std::mutex> L(S.Mu);
+  size_t Cost = NodeOverhead + sizeof(Node);
+  for (const std::string &N : FunctionNames)
+    Cost += N.size() + sizeof(std::string);
+  auto It = S.Map.find(TextKey);
+  if (It != S.Map.end()) {
+    // Refresh a stale or duplicate alias in place.
+    if (It->second.St != Node::State::Alias)
+      return; // A structural key collided into the text key space: keep it.
+    S.Bytes -= It->second.Cost;
+    It->second.Target = StructKey;
+    It->second.FunctionNames = std::move(FunctionNames);
+    It->second.Cost = Cost;
+    S.Bytes += Cost;
+    touch(S, It);
+    enforceBudget(S);
+    return;
+  }
+  S.Lru.push_front(TextKey);
+  Node N;
+  N.St = Node::State::Alias;
+  N.Target = StructKey;
+  N.FunctionNames = std::move(FunctionNames);
+  N.Cost = Cost;
+  N.LruPos = S.Lru.begin();
+  S.Bytes += Cost;
+  S.Map.emplace(TextKey, std::move(N));
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+  enforceBudget(S);
+}
+
+ResultCache::Occupancy ResultCache::occupancy() const {
+  Occupancy O;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    O.Bytes += S.Bytes;
+    O.Entries += S.Map.size();
+  }
+  O.Evictions = Evictions.load(std::memory_order_relaxed);
+  O.Insertions = Insertions.load(std::memory_order_relaxed);
+  return O;
+}

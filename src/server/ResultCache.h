@@ -1,0 +1,197 @@
+//===- server/ResultCache.h - Content-addressed result cache ---*- C++ -*-===//
+///
+/// \file
+/// The incremental-compilation cache behind `fcc-served` and
+/// `fcc-batch --cache`: a sharded, byte-budgeted, LRU-evicting map from
+/// content digests to finished compilation artifacts (per-function records
+/// plus the rewritten module text). The design follows the dedup-and-
+/// immutability discipline of hash-consed artifact stores: payloads are
+/// immutable once published and handed out as shared_ptr<const>, so readers
+/// never lock around use, only around lookup.
+///
+/// Two key spaces address the same payloads:
+///
+///   - Text keys: a digest of the unit's exact source bytes (or generator
+///     spec) plus the pipeline-configuration fingerprint. Hitting here skips
+///     parsing entirely — this is the daemon's warm fast path.
+///   - Structural keys: the alpha-canonical StructuralHash of the parsed
+///     module plus the same configuration fingerprint, so alpha-variant
+///     resubmissions (same program, different names) also dedup. Text keys
+///     are aliases resolving to a structural key; a stale alias whose target
+///     was evicted simply misses and heals on the next completion.
+///
+/// Structural lookups have compute-once semantics: the first requester of a
+/// missing key becomes its *owner* and must publish (complete) or retract
+/// (abort) it; concurrent requesters of the same key block until then and
+/// are served the published value. This is what makes cache.hits/misses a
+/// pure function of the corpus — K identical units are exactly 1 miss and
+/// K-1 hits under any scheduling — and it is deadlock-free on the service's
+/// ThreadPool because ownership is only ever acquired *inside* a running
+/// task: every in-flight key has a live thread advancing it, so some owner
+/// can always finish. (Owners never wait on other keys: units are leaf
+/// tasks that look up exactly one key.)
+///
+/// Eviction is least-recently-used per shard against ByteBudget/Shards;
+/// in-flight entries are never evicted (their waiters hold the key). With a
+/// budget large enough for the working set, hit/miss counts are exactly
+/// deterministic; an overflowing budget trades that for boundedness, which
+/// is the right default for a long-lived daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_SERVER_RESULTCACHE_H
+#define FCC_SERVER_RESULTCACHE_H
+
+#include "ir/StructuralHash.h"
+#include "service/BatchReport.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fcc {
+
+/// A cache address: a 128-bit content digest. Text and structural keys are
+/// domain-separated when derived (see CompilationService), so the two key
+/// spaces can share one table without colliding.
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const CacheKey &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+};
+
+/// One published compilation artifact. Immutable after publication; the
+/// function records carry the *owner's* names — serving an alpha-variant
+/// replaces them from its own parse (structural hits) or from the alias
+/// (text hits).
+struct CacheValue {
+  std::vector<FunctionRecord> Functions;
+  /// The rewritten module, printed. Alpha-variants are served the owner's
+  /// text (a consistent renaming of their own program).
+  std::string RewrittenText;
+
+  /// Approximate heap footprint, used for the byte budget.
+  size_t bytes() const;
+};
+
+/// Sharded LRU result cache. All methods are thread-safe.
+class ResultCache {
+public:
+  struct Options {
+    /// Total byte budget across all shards (approximate; in-flight and
+    /// alias bookkeeping is counted, map overhead is estimated).
+    size_t ByteBudget = 256u << 20;
+    /// Shard count, rounded up to a power of two. More shards reduce lock
+    /// contention; the default is plenty for tool-scale job counts.
+    unsigned Shards = 8;
+  };
+
+  /// Monotonic occupancy/eviction counters (daemon lifetime). Hits and
+  /// misses are counted by the caller per *unit* (a text miss that becomes
+  /// a structural hit is one hit), so they are not duplicated here.
+  struct Occupancy {
+    size_t Bytes = 0;
+    size_t Entries = 0;
+    uint64_t Evictions = 0;
+    uint64_t Insertions = 0;
+  };
+
+  ResultCache() : ResultCache(Options()) {}
+  explicit ResultCache(Options Opts);
+
+  /// Exact-bytes fast path. On a hit returns the payload plus the function
+  /// names recorded for this exact text (the names of the unit that first
+  /// resolved it), and refreshes LRU recency of both alias and payload.
+  struct TextHit {
+    std::shared_ptr<const CacheValue> Value;
+    std::vector<std::string> FunctionNames;
+  };
+  std::optional<TextHit> lookupText(const CacheKey &TextKey);
+
+  /// Structural path with compute-once semantics. Owner == false means the
+  /// value was served (possibly after blocking on a concurrent owner);
+  /// Owner == true means the caller must compile and then call complete()
+  /// or abort() with the same key — failing to do so blocks later
+  /// requesters forever.
+  struct StructResult {
+    std::shared_ptr<const CacheValue> Value; ///< Set when Owner is false.
+    bool Owner = false;
+  };
+  StructResult lookupOrStart(const CacheKey &StructKey);
+
+  /// Publishes the owner's finished value and wakes every waiter.
+  void complete(const CacheKey &StructKey,
+                std::shared_ptr<const CacheValue> Value);
+
+  /// Retracts an in-flight key after a failed compile. One blocked waiter
+  /// (if any) becomes the new owner and retries; failures are never cached
+  /// (a unit's error belongs to that unit's report).
+  void abort(const CacheKey &StructKey);
+
+  /// Records that \p TextKey's exact bytes resolve to \p StructKey, with
+  /// the function names belonging to that text. Overwrites any stale alias.
+  void addAlias(const CacheKey &TextKey, const CacheKey &StructKey,
+                std::vector<std::string> FunctionNames);
+
+  Occupancy occupancy() const;
+
+private:
+  struct Node {
+    enum class State { InFlight, Ready, Alias };
+    State St = State::InFlight;
+    std::shared_ptr<const CacheValue> Value; ///< Ready payloads.
+    CacheKey Target;                         ///< Alias resolution.
+    std::vector<std::string> FunctionNames;  ///< Alias name mapping.
+    size_t Cost = 0;
+    std::list<CacheKey>::iterator LruPos;
+  };
+
+  struct KeyHash {
+    size_t operator()(const CacheKey &K) const {
+      return static_cast<size_t>(K.Lo); // Already uniformly mixed.
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    std::condition_variable Ready; ///< Waiters for in-flight keys.
+    std::unordered_map<CacheKey, Node, KeyHash> Map;
+    std::list<CacheKey> Lru; ///< Front = most recently used.
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const CacheKey &K) {
+    return Shards[K.Hi & (Shards.size() - 1)];
+  }
+  const Shard &shardFor(const CacheKey &K) const {
+    return Shards[K.Hi & (Shards.size() - 1)];
+  }
+
+  /// Moves \p It's node to the LRU front. Caller holds the shard lock.
+  static void touch(Shard &S,
+                    std::unordered_map<CacheKey, Node, KeyHash>::iterator It);
+
+  /// Evicts LRU non-in-flight nodes until the shard meets its budget.
+  /// Caller holds the shard lock.
+  void enforceBudget(Shard &S);
+
+  std::vector<Shard> Shards;
+  size_t ShardBudget;
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> Insertions{0};
+};
+
+} // namespace fcc
+
+#endif // FCC_SERVER_RESULTCACHE_H

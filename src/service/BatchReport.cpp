@@ -51,10 +51,7 @@ BatchTotals BatchReport::totals() const {
   return T;
 }
 
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-void appendEscaped(std::string &Out, const std::string &S) {
+void fcc::appendJsonEscaped(std::string &Out, const std::string &S) {
   Out += '"';
   for (char C : S) {
     switch (C) {
@@ -86,6 +83,8 @@ void appendEscaped(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
+namespace {
+
 void appendKey(std::string &Out, const char *Key) {
   Out += '"';
   Out += Key;
@@ -99,7 +98,7 @@ void appendNum(std::string &Out, const char *Key, uint64_t Value) {
 
 void appendStr(std::string &Out, const char *Key, const std::string &Value) {
   appendKey(Out, Key);
-  appendEscaped(Out, Value);
+  appendJsonEscaped(Out, Value);
 }
 
 void appendFunction(std::string &Out, const FunctionRecord &F,
@@ -156,7 +155,10 @@ void appendFunction(std::string &Out, const FunctionRecord &F,
   Out += '}';
 }
 
-void appendUnit(std::string &Out, const UnitReport &U, bool IncludeTimings) {
+} // namespace
+
+void fcc::appendUnitJson(std::string &Out, const UnitReport &U,
+                         bool IncludeTimings) {
   Out += '{';
   appendNum(Out, "index", U.Index);
   Out += ',';
@@ -186,8 +188,6 @@ void appendUnit(std::string &Out, const UnitReport &U, bool IncludeTimings) {
   Out += "]}";
 }
 
-} // namespace
-
 std::string BatchReport::toJson(bool IncludeTimings) const {
   std::string Out;
   Out += '{';
@@ -202,7 +202,7 @@ std::string BatchReport::toJson(bool IncludeTimings) const {
   for (size_t I = 0; I != Units.size(); ++I) {
     if (I)
       Out += ',';
-    appendUnit(Out, Units[I], IncludeTimings);
+    appendUnitJson(Out, Units[I], IncludeTimings);
   }
   Out += ']';
 
@@ -240,7 +240,7 @@ std::string BatchReport::toJson(bool IncludeTimings) const {
     for (size_t I = 0; I != Counters.size(); ++I) {
       if (I)
         Out += ',';
-      appendEscaped(Out, Counters[I].Name);
+      appendJsonEscaped(Out, Counters[I].Name);
       Out += ':' + std::to_string(Counters[I].Value);
     }
     Out += "},\"phases\":[";

@@ -61,9 +61,28 @@ struct UnitReport {
   /// Wall-clock for the whole unit (read/parse/compile/check/execute).
   uint64_t TotalMicros = 0;
   std::vector<FunctionRecord> Functions;
+  /// True when the unit was served from the result cache instead of being
+  /// compiled. Deliberately *not* part of the JSON serialization: cached
+  /// and compiled traffic must produce byte-identical report entries.
+  bool FromCache = false;
+  /// The rewritten module text, filled when the service ran with
+  /// WantRewritten (the daemon returns it to clients on request). Also
+  /// outside the JSON serialization.
+  std::string RewrittenText;
 
   bool ok() const { return Status == UnitStatus::Ok; }
 };
+
+/// Appends \p S to \p Out as a quoted JSON string (escaping quotes,
+/// backslashes and control characters) — the one JSON string writer every
+/// serializer in the repository shares.
+void appendJsonEscaped(std::string &Out, const std::string &S);
+
+/// Appends one unit report as a JSON object: exactly the serialization
+/// BatchReport::toJson uses for its "units" array, exposed so the daemon's
+/// responses embed byte-identical entries.
+void appendUnitJson(std::string &Out, const UnitReport &U,
+                    bool IncludeTimings);
 
 /// Deterministic aggregate over a batch (derived from unit reports).
 struct BatchTotals {

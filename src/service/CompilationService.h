@@ -37,6 +37,7 @@
 
 namespace fcc {
 
+class ResultCache;
 class StatsRegistry;
 class TraceWriter;
 
@@ -73,6 +74,15 @@ struct ServiceOptions {
   /// as a Chrome trace event here, on the worker thread's track. The
   /// writer must outlive run().
   TraceWriter *Trace = nullptr;
+  /// When non-null, units are served from / published to this
+  /// content-addressed result cache (see server/ResultCache.h). Every
+  /// option above that can change a unit's report bytes is folded into the
+  /// cache key, so one cache can safely back differently configured
+  /// services. The cache must outlive every run()/compileOne() call.
+  ResultCache *Cache = nullptr;
+  /// Capture the rewritten module text into UnitReport::RewrittenText (the
+  /// daemon returns it to clients; fcc-batch does not need it).
+  bool WantRewritten = false;
 };
 
 /// Stateless-per-run batch compiler; one instance can serve many batches.
@@ -83,6 +93,14 @@ public:
   /// Compiles \p Units (possibly concurrently) and returns the aggregate
   /// report, with Units[i] describing the i-th input unit.
   BatchReport run(const std::vector<WorkUnit> &Units);
+
+  /// Compiles a single unit with the same error isolation run() gives each
+  /// of its units (exceptions become InternalError reports, never escape).
+  /// Thread-safe; the daemon calls this directly from pool tasks so units
+  /// from different connections share one cache and one service. \p Registry
+  /// may be null.
+  UnitReport compileOne(const WorkUnit &Unit, unsigned Index,
+                        StatsRegistry *Registry) const;
 
   /// Cooperative cancellation: units that have not started when the flag
   /// is observed report UnitStatus::Cancelled. Callable from any thread,

@@ -1,0 +1,136 @@
+//===- tests/server/JsonTest.cpp ------------------------------------------===//
+//
+// The wire-protocol reader: strict, integer-only JSON. Tests cover the
+// accepted grammar, the typed accessors the daemon uses on requests, and
+// the rejections that keep a hostile client from wedging the parser —
+// depth bombs, overflow, fractions, trailing garbage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Json.h"
+
+#include <gtest/gtest.h>
+#include <string>
+
+using namespace fcc;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Error;
+  return V;
+}
+
+void expectReject(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse(Text, V, Error)) << "accepted: " << Text;
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(parseOk("null").kind(), json::Value::Kind::Null);
+  EXPECT_TRUE(parseOk("true").boolean());
+  EXPECT_FALSE(parseOk("false").boolean());
+  EXPECT_EQ(parseOk("42").integer(), 42);
+  EXPECT_EQ(parseOk("-7").integer(), -7);
+  EXPECT_EQ(parseOk("\"hi\"").str(), "hi");
+}
+
+TEST(JsonTest, ParsesInt64Extremes) {
+  EXPECT_EQ(parseOk("9223372036854775807").integer(),
+            INT64_MAX);
+  EXPECT_EQ(parseOk("-9223372036854775808").integer(),
+            INT64_MIN);
+}
+
+TEST(JsonTest, ParsesACompileRequest) {
+  json::Value V = parseOk(
+      R"({"op":"compile","id":3,"name":"u","index":0,"source":"func","rewritten":true})");
+  EXPECT_EQ(V.strOr("op", ""), "compile");
+  EXPECT_EQ(V.intOr("id", -1), 3);
+  EXPECT_EQ(V.intOr("index", -1), 0);
+  EXPECT_EQ(V.strOr("source", ""), "func");
+  EXPECT_TRUE(V.boolOr("rewritten", false));
+  // Typed accessors fall back on absent fields.
+  EXPECT_EQ(V.intOr("missing", 17), 17);
+  EXPECT_FALSE(V.boolOr("missing", false));
+  EXPECT_EQ(V.strOr("missing", "d"), "d");
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesNestedArraysAndObjects) {
+  json::Value V = parseOk(R"({"a":[1,[2,3],{"b":[]}],"c":{}})");
+  const json::Value *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->array().size(), 3u);
+  EXPECT_EQ(A->array()[0].integer(), 1);
+  EXPECT_EQ(A->array()[1].array()[1].integer(), 3);
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  json::Value V = parseOk(R"("a\"b\\c\nd\te")");
+  EXPECT_EQ(V.str(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
+  EXPECT_EQ(parseOk(R"("A")").str(), "A");
+  EXPECT_EQ(parseOk(R"("é")").str(), "\xc3\xa9");     // e-acute
+  EXPECT_EQ(parseOk(R"("€")").str(), "\xe2\x82\xac"); // euro sign
+}
+
+TEST(JsonTest, AllowsSurroundingWhitespace) {
+  EXPECT_EQ(parseOk("  \n\t {\"a\":1} \n").intOr("a", 0), 1);
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  expectReject("{} x");
+  expectReject("1 2");
+  expectReject("{\"a\":1}{}");
+}
+
+TEST(JsonTest, RejectsFractionsAndExponents) {
+  // No protocol field is a float; silent truncation would be worse than
+  // rejection.
+  expectReject("1.5");
+  expectReject("1e3");
+  expectReject("{\"a\":0.0}");
+}
+
+TEST(JsonTest, RejectsOverflow) {
+  expectReject("9223372036854775808");   // INT64_MAX + 1
+  expectReject("-9223372036854775809");  // INT64_MIN - 1
+  expectReject("99999999999999999999");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  expectReject("");
+  expectReject("{");
+  expectReject("[1,]");
+  expectReject("{\"a\"}");
+  expectReject("{\"a\":}");
+  expectReject("{a:1}");
+  expectReject("\"unterminated");
+  expectReject("\"bad\\escape\"");
+  expectReject("nul");
+  expectReject("+1");
+  expectReject("01");
+}
+
+TEST(JsonTest, RejectsDepthBomb) {
+  // 64 levels is far beyond any protocol message; 1000 must fail cleanly
+  // instead of overflowing the stack.
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  expectReject(Deep);
+  // A modest nesting still parses.
+  std::string Ok(8, '[');
+  Ok += "1";
+  Ok += std::string(8, ']');
+  json::Value V = parseOk(Ok);
+  EXPECT_EQ(V.kind(), json::Value::Kind::Array);
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+//===- tests/server/ResultCacheTest.cpp -----------------------------------===//
+//
+// The result cache's contracts, in isolation from the service: text-alias
+// resolution, LRU eviction against the byte budget (never evicting
+// in-flight entries), and — the part TSan is for — compute-once semantics
+// under concurrency: one owner per key, waiters blocked until publication,
+// abort promoting exactly one waiter to owner.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ResultCache.h"
+
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+CacheKey key(uint64_t Hi, uint64_t Lo) { return CacheKey{Hi, Lo}; }
+
+/// A payload of roughly \p Bytes heap bytes, tagged so tests can tell
+/// values apart.
+std::shared_ptr<const CacheValue> value(const std::string &Tag,
+                                        size_t Bytes = 64) {
+  auto V = std::make_shared<CacheValue>();
+  V->RewrittenText = Tag + std::string(Bytes, 'x');
+  FunctionRecord R;
+  R.Name = Tag;
+  V->Functions.push_back(std::move(R));
+  return V;
+}
+
+TEST(ResultCacheTest, MissThenCompleteThenHit) {
+  ResultCache Cache;
+  CacheKey K = key(1, 1);
+
+  ResultCache::StructResult First = Cache.lookupOrStart(K);
+  EXPECT_TRUE(First.Owner);
+  EXPECT_EQ(First.Value, nullptr);
+
+  Cache.complete(K, value("a"));
+
+  ResultCache::StructResult Second = Cache.lookupOrStart(K);
+  EXPECT_FALSE(Second.Owner);
+  ASSERT_NE(Second.Value, nullptr);
+  EXPECT_EQ(Second.Value->Functions[0].Name, "a");
+}
+
+TEST(ResultCacheTest, TextAliasResolvesWithItsOwnNames) {
+  ResultCache Cache;
+  CacheKey Struct = key(2, 2);
+  CacheKey Text = key(3, 3);
+
+  EXPECT_FALSE(Cache.lookupText(Text).has_value());
+  EXPECT_TRUE(Cache.lookupOrStart(Struct).Owner);
+  Cache.complete(Struct, value("owner"));
+  Cache.addAlias(Text, Struct, {"variant"});
+
+  auto Hit = Cache.lookupText(Text);
+  ASSERT_TRUE(Hit.has_value());
+  // The payload carries the owner's record; the alias carries the names
+  // belonging to this exact text, so an alpha-variant's report keeps its
+  // own function names.
+  EXPECT_EQ(Hit->Value->Functions[0].Name, "owner");
+  ASSERT_EQ(Hit->FunctionNames.size(), 1u);
+  EXPECT_EQ(Hit->FunctionNames[0], "variant");
+}
+
+TEST(ResultCacheTest, StaleAliasMissesAfterTargetEviction) {
+  // A budget sized at runtime to hold one value plus an alias but not two
+  // values: publishing a second value evicts the first, and the alias
+  // pointing at it must miss (and not crash).
+  const size_t PayloadBytes = 4096;
+  const size_t ValueCost = value("sz", PayloadBytes)->bytes() + 128;
+  ResultCache::Options Opts;
+  Opts.ByteBudget = ValueCost + 1024;
+  Opts.Shards = 1;
+  ResultCache Cache(Opts);
+
+  CacheKey S1 = key(4, 4), S2 = key(5, 5), T1 = key(6, 6);
+  EXPECT_TRUE(Cache.lookupOrStart(S1).Owner);
+  Cache.complete(S1, value("one", PayloadBytes));
+  Cache.addAlias(T1, S1, {"one"});
+  ASSERT_TRUE(Cache.lookupText(T1).has_value());
+
+  EXPECT_TRUE(Cache.lookupOrStart(S2).Owner);
+  Cache.complete(S2, value("two", PayloadBytes));
+
+  EXPECT_GT(Cache.occupancy().Evictions, 0u);
+  EXPECT_FALSE(Cache.lookupText(T1).has_value());
+  // The evicted key is recomputable: the next requester owns it again.
+  EXPECT_TRUE(Cache.lookupOrStart(S1).Owner);
+  Cache.abort(S1);
+}
+
+TEST(ResultCacheTest, LruEvictionPrefersColdEntries) {
+  // Budget fits two values (plus slack for in-flight markers), not three.
+  const size_t PayloadBytes = 4096;
+  const size_t ValueCost = value("sz", PayloadBytes)->bytes() + 128;
+  ResultCache::Options Opts;
+  Opts.ByteBudget = 2 * ValueCost + 1024;
+  Opts.Shards = 1;
+  ResultCache Cache(Opts);
+
+  CacheKey Hot = key(7, 7), Cold = key(8, 8), New = key(9, 9);
+  EXPECT_TRUE(Cache.lookupOrStart(Hot).Owner);
+  Cache.complete(Hot, value("hot", PayloadBytes));
+  EXPECT_TRUE(Cache.lookupOrStart(Cold).Owner);
+  Cache.complete(Cold, value("cold", PayloadBytes));
+
+  // Touch Hot so Cold is the LRU entry, then overflow the budget.
+  EXPECT_FALSE(Cache.lookupOrStart(Hot).Owner);
+  EXPECT_TRUE(Cache.lookupOrStart(New).Owner);
+  Cache.complete(New, value("new", PayloadBytes));
+
+  EXPECT_FALSE(Cache.lookupOrStart(Hot).Owner) << "hot entry was evicted";
+  EXPECT_TRUE(Cache.lookupOrStart(Cold).Owner) << "cold entry survived";
+  Cache.abort(Cold);
+}
+
+TEST(ResultCacheTest, BudgetBoundsOccupancy) {
+  const size_t PayloadBytes = 512;
+  ResultCache::Options Opts;
+  Opts.ByteBudget = 8 * (value("sz", PayloadBytes)->bytes() + 128);
+  Opts.Shards = 1;
+  ResultCache Cache(Opts);
+
+  for (uint64_t I = 0; I != 64; ++I) {
+    CacheKey K = key(100 + I, 100 + I);
+    ASSERT_TRUE(Cache.lookupOrStart(K).Owner);
+    Cache.complete(K, value("v" + std::to_string(I), PayloadBytes));
+  }
+  ResultCache::Occupancy Occ = Cache.occupancy();
+  EXPECT_LE(Occ.Bytes, Opts.ByteBudget);
+  EXPECT_GT(Occ.Evictions, 0u);
+  EXPECT_EQ(Occ.Insertions, 64u);
+  EXPECT_GT(Occ.Entries, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentRequestersComputeOnce) {
+  // N threads race on one key. Exactly one must become owner; everyone
+  // else blocks until complete() and then observes the published value.
+  // Run under TSan this also proves the payload handoff is race-free.
+  ResultCache Cache;
+  CacheKey K = key(10, 10);
+  constexpr unsigned N = 8;
+  std::atomic<unsigned> Owners{0};
+  std::atomic<unsigned> Hits{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&] {
+      ResultCache::StructResult R = Cache.lookupOrStart(K);
+      if (R.Owner) {
+        Owners.fetch_add(1);
+        // Give waiters time to pile up on the in-flight entry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        Cache.complete(K, value("shared"));
+      } else {
+        ASSERT_NE(R.Value, nullptr);
+        EXPECT_EQ(R.Value->Functions[0].Name, "shared");
+        Hits.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Owners.load(), 1u);
+  EXPECT_EQ(Hits.load(), N - 1);
+}
+
+TEST(ResultCacheTest, AbortPromotesOneWaiterToOwner) {
+  ResultCache Cache;
+  CacheKey K = key(11, 11);
+  ASSERT_TRUE(Cache.lookupOrStart(K).Owner);
+
+  constexpr unsigned N = 4;
+  std::atomic<unsigned> Owners{0};
+  std::atomic<unsigned> Hits{0};
+  std::vector<std::thread> Waiters;
+  for (unsigned I = 0; I != N; ++I)
+    Waiters.emplace_back([&] {
+      ResultCache::StructResult R = Cache.lookupOrStart(K);
+      if (R.Owner) {
+        Owners.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        Cache.complete(K, value("retried"));
+      } else {
+        ASSERT_NE(R.Value, nullptr);
+        Hits.fetch_add(1);
+      }
+    });
+
+  // Let the waiters block on the in-flight key, then fail the compile.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Cache.abort(K);
+  for (std::thread &T : Waiters)
+    T.join();
+
+  // Exactly one waiter inherited ownership and published; the rest hit.
+  EXPECT_EQ(Owners.load(), 1u);
+  EXPECT_EQ(Hits.load(), N - 1);
+  EXPECT_FALSE(Cache.lookupOrStart(K).Owner);
+}
+
+TEST(ResultCacheTest, DistinctKeysDoNotInterfere) {
+  ResultCache Cache;
+  constexpr unsigned N = 16;
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&Cache, I] {
+      std::string Tag = "k";
+      Tag += std::to_string(I);
+      CacheKey K = key(1000 + I, 2000 + I);
+      ResultCache::StructResult R = Cache.lookupOrStart(K);
+      ASSERT_TRUE(R.Owner);
+      Cache.complete(K, value(Tag));
+      auto Again = Cache.lookupOrStart(K);
+      ASSERT_FALSE(Again.Owner);
+      EXPECT_EQ(Again.Value->Functions[0].Name, Tag);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Cache.occupancy().Insertions, N);
+}
+
+} // namespace

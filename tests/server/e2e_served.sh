@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end acceptance test for the compile daemon (the issue's bar):
+# start fcc-served on a fresh socket, submit the same corpus twice, and
+# require (a) the second pass to be 100% cache hits and (b) the two JSON
+# reports to be byte-identical — cached traffic must be indistinguishable
+# from compiled traffic. Finishes with a client-driven graceful shutdown
+# and checks the daemon exits cleanly.
+#
+#   e2e_served.sh FCC_SERVED FCC_CLIENT [CORPUS_DIR]
+#
+# The corpus is CORPUS_DIR (when given and non-empty) plus generated
+# routines, so the test works from a bare build tree.
+set -eu
+
+SERVED=$1
+CLIENT=$2
+CORPUS=${3:-}
+
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+SOCK=$TMP/fcc.sock
+"$SERVED" --socket="$SOCK" --quiet &
+PID=$!
+
+# The daemon creates the socket before it starts serving; poll for it.
+TRIES=0
+while [ ! -S "$SOCK" ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 100 ]; then
+    echo "FAIL: daemon did not create $SOCK" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+submit() {
+  out=$1
+  shift
+  if [ -n "$CORPUS" ]; then
+    "$CLIENT" --socket="$SOCK" "$CORPUS" --generate=6:5 \
+      --json="$out" --quiet "$@"
+  else
+    "$CLIENT" --socket="$SOCK" --generate=6:5 --json="$out" --quiet "$@"
+  fi
+}
+
+# Pass 1: cold, everything compiles.
+submit "$TMP/r1.json"
+# Pass 2: warm — every unit must be a cache hit (exit 3 otherwise).
+submit "$TMP/r2.json" --expect-all-hits
+
+# Cached results must serialize byte-identically to compiled ones.
+if ! cmp -s "$TMP/r1.json" "$TMP/r2.json"; then
+  echo "FAIL: warm report differs from cold report" >&2
+  diff "$TMP/r1.json" "$TMP/r2.json" >&2 || true
+  exit 1
+fi
+
+# Graceful shutdown: the client asks, the daemon drains and exits 0.
+"$CLIENT" --socket="$SOCK" --shutdown --quiet
+if ! wait "$PID"; then
+  echo "FAIL: daemon exited non-zero after graceful shutdown" >&2
+  PID=
+  exit 1
+fi
+PID=
+[ ! -S "$SOCK" ] || { echo "FAIL: socket not unlinked on shutdown" >&2; exit 1; }
+
+echo "PASS: second pass all hits, reports byte-identical, clean shutdown"

@@ -1,0 +1,223 @@
+//===- tests/service/CacheServiceTest.cpp ---------------------------------===//
+//
+// The service + result cache integration: duplicate and alpha-variant
+// units dedup to one compile, cached units produce report entries
+// byte-identical to compiled ones, the deterministic cache.hits/misses
+// counters are a pure function of the corpus (independent of --jobs), and
+// failing units are never cached.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ResultCache.h"
+#include "service/CompilationService.h"
+
+#include "service/BatchReport.h"
+#include "service/WorkUnit.h"
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+const char *Original = R"(
+func @orig(%n) {
+entry:
+  %i = const 0
+  %acc = const 0
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %t = add %acc, %i
+  %acc = copy %t
+  %i1 = add %i, 1
+  %i = copy %i1
+  br head
+exit:
+  ret %acc
+}
+)";
+
+/// Alpha-variant of Original: every name differs, the structure does not.
+const char *Variant = R"(
+func @variant(%limit) {
+start:
+  %k = const 0
+  %sum = const 0
+  br loop
+loop:
+  %go = cmplt %k, %limit
+  cbr %go, work, done
+work:
+  %next = add %sum, %k
+  %sum = copy %next
+  %k2 = add %k, 1
+  %k = copy %k2
+  br loop
+done:
+  ret %sum
+}
+)";
+
+const char *Unrelated = R"(
+func @other(%a, %b) {
+entry:
+  %r = mul %a, %b
+  ret %r
+}
+)";
+
+uint64_t counter(const BatchReport &R, const std::string &Name) {
+  for (const CounterSnapshot &C : R.Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+BatchReport runCorpus(const std::vector<WorkUnit> &Units, unsigned Jobs,
+                      ResultCache *Cache) {
+  ServiceOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CollectStats = true;
+  Opts.Cache = Cache;
+  return CompilationService(Opts).run(Units);
+}
+
+/// Duplicates + an alpha-variant + one unrelated unit: exactly two
+/// distinct programs, so two misses regardless of scheduling.
+std::vector<WorkUnit> dedupCorpus() {
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", Original));
+  Units.push_back(WorkUnit::fromSource("b", Original));  // exact dup
+  Units.push_back(WorkUnit::fromSource("c", Variant));   // alpha-variant
+  Units.push_back(WorkUnit::fromSource("d", Unrelated));
+  return Units;
+}
+
+TEST(CacheServiceTest, DedupsExactAndAlphaVariantUnits) {
+  ResultCache Cache;
+  BatchReport R = runCorpus(dedupCorpus(), /*Jobs=*/1, &Cache);
+
+  ASSERT_EQ(R.Units.size(), 4u);
+  for (const UnitReport &U : R.Units)
+    EXPECT_TRUE(U.ok()) << U.Name << ": " << U.Error;
+
+  EXPECT_EQ(counter(R, "cache.misses"), 2u);
+  EXPECT_EQ(counter(R, "cache.hits"), 2u);
+  // Sequential order makes per-unit attribution deterministic too.
+  EXPECT_FALSE(R.Units[0].FromCache);
+  EXPECT_TRUE(R.Units[1].FromCache);
+  EXPECT_TRUE(R.Units[2].FromCache);
+  EXPECT_FALSE(R.Units[3].FromCache);
+}
+
+TEST(CacheServiceTest, CachedUnitsKeepTheirOwnFunctionNames) {
+  ResultCache Cache;
+  BatchReport R = runCorpus(dedupCorpus(), /*Jobs=*/1, &Cache);
+  // The alpha-variant was served from @orig's artifact but must report
+  // its own function name — reports stay indistinguishable from a
+  // cache-less run.
+  ASSERT_EQ(R.Units[2].Functions.size(), 1u);
+  EXPECT_EQ(R.Units[2].Functions[0].Name, "variant");
+  EXPECT_EQ(R.Units[1].Functions[0].Name, "orig");
+}
+
+TEST(CacheServiceTest, CachedReportsMatchCompiledReports) {
+  // Same corpus with and without a cache: the deterministic JSON form
+  // must be byte-identical — FromCache and RewrittenText stay out of the
+  // serialization by contract. Stats are off here: phase-call counts
+  // legitimately differ (cached units skip the pipeline, that is the
+  // point); the *unit entries and totals* must not.
+  ServiceOptions WithCache;
+  ResultCache Cache;
+  WithCache.Cache = &Cache;
+  BatchReport Cached = CompilationService(WithCache).run(dedupCorpus());
+  BatchReport Compiled =
+      CompilationService(ServiceOptions()).run(dedupCorpus());
+  EXPECT_EQ(Cached.toJson(false), Compiled.toJson(false));
+}
+
+TEST(CacheServiceTest, CountersAreIdenticalAcrossJobCounts) {
+  // The acceptance bar from the issue: with the cache on, hits/misses and
+  // the whole deterministic report are byte-identical across job counts.
+  // Compute-once guarantees K identical units are 1 miss + K-1 hits under
+  // any scheduling. Use fresh caches so runs do not warm each other.
+  std::vector<WorkUnit> Units = dedupCorpus();
+  for (unsigned I = 0; I != 8; ++I)
+    Units.push_back(WorkUnit::fromSource("g" + std::to_string(I), Original));
+
+  ResultCache C1, C4;
+  BatchReport R1 = runCorpus(Units, /*Jobs=*/1, &C1);
+  BatchReport R4 = runCorpus(Units, /*Jobs=*/4, &C4);
+
+  EXPECT_EQ(counter(R1, "cache.misses"), 2u);
+  EXPECT_EQ(counter(R1, "cache.hits"), 10u);
+  EXPECT_EQ(counter(R4, "cache.misses"), 2u);
+  EXPECT_EQ(counter(R4, "cache.hits"), 10u);
+  EXPECT_EQ(R1.toJson(false), R4.toJson(false));
+}
+
+TEST(CacheServiceTest, WantRewrittenServesIdenticalTextFromCache) {
+  ServiceOptions Opts;
+  Opts.CollectStats = true;
+  Opts.WantRewritten = true;
+  ResultCache Cache;
+  Opts.Cache = &Cache;
+
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", Original));
+  Units.push_back(WorkUnit::fromSource("b", Original));
+  BatchReport R = CompilationService(Opts).run(Units);
+
+  ASSERT_EQ(R.Units.size(), 2u);
+  EXPECT_FALSE(R.Units[0].RewrittenText.empty());
+  EXPECT_TRUE(R.Units[1].FromCache);
+  EXPECT_EQ(R.Units[0].RewrittenText, R.Units[1].RewrittenText);
+}
+
+TEST(CacheServiceTest, FailingUnitsAreNeverCached) {
+  ResultCache Cache;
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("bad1", "func @broken( {"));
+  Units.push_back(WorkUnit::fromSource("bad2", "func @broken( {"));
+  BatchReport R = runCorpus(Units, /*Jobs=*/1, &Cache);
+
+  ASSERT_EQ(R.Units.size(), 2u);
+  EXPECT_EQ(R.Units[0].Status, UnitStatus::ParseError);
+  EXPECT_EQ(R.Units[1].Status, UnitStatus::ParseError);
+  // Both are misses: an error belongs to each unit's own report, so
+  // nothing was published for the second to hit.
+  EXPECT_EQ(counter(R, "cache.misses"), 2u);
+  EXPECT_EQ(counter(R, "cache.hits"), 0u);
+  EXPECT_EQ(Cache.occupancy().Insertions, 0u);
+}
+
+TEST(CacheServiceTest, DifferentConfigurationsDoNotShareResults) {
+  // One cache, two pipeline configurations: the config fingerprint keys
+  // them apart, so the second run misses instead of serving the first
+  // run's artifact.
+  ResultCache Cache;
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", Original));
+
+  ServiceOptions New;
+  New.CollectStats = true;
+  New.Cache = &Cache;
+  ServiceOptions Standard = New;
+  Standard.Pipeline = PipelineKind::Standard;
+
+  BatchReport R1 = CompilationService(New).run(Units);
+  BatchReport R2 = CompilationService(Standard).run(Units);
+  EXPECT_EQ(counter(R1, "cache.misses"), 1u);
+  EXPECT_EQ(counter(R2, "cache.misses"), 1u);
+  EXPECT_EQ(counter(R2, "cache.hits"), 0u);
+
+  // Same config again: now it hits.
+  BatchReport R3 = CompilationService(New).run(Units);
+  EXPECT_EQ(counter(R3, "cache.hits"), 1u);
+}
+
+} // namespace

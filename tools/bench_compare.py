@@ -69,12 +69,13 @@ def validate(report, path):
             elif not isinstance(bench[field], kind) or isinstance(
                     bench[field], bool):
                 errors.append(f"{where} field '{field}' is not {kind.__name__}")
-        if "instructions_retired" not in bench:
-            errors.append(f"{where} missing field 'instructions_retired'")
-        elif bench["instructions_retired"] is not None and not isinstance(
-                bench["instructions_retired"], int):
+        # instructions_retired is optional: fcc-bench omits it when hardware
+        # counters are unavailable (null is tolerated for older reports).
+        retired = bench.get("instructions_retired")
+        if retired is not None and (not isinstance(retired, int)
+                                    or isinstance(retired, bool)):
             errors.append(f"{where} field 'instructions_retired' is neither "
-                          "int nor null")
+                          "int nor absent/null")
         name = bench.get("name")
         if name in seen:
             errors.append(f"{where} duplicate benchmark name {name!r}")

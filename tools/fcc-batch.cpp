@@ -18,6 +18,11 @@
 //                       so reports from different --jobs compare equal
 //   --stats             aggregate per-phase timers and named counters
 //                       across workers and print them after the summary
+//   --cache[=BYTES]     dedup identical and alpha-equivalent units within
+//                       the batch through a result cache (default budget
+//                       256 MiB); with --stats the deterministic
+//                       cache.hits/cache.misses counters land in the
+//                       report's "stats" key, byte-identical across --jobs
 //   --trace=PATH        write a Chrome trace (chrome://tracing / Perfetto)
 //                       of every pipeline phase on every worker to PATH
 //   --check             validate each New-pipeline partition (checker)
@@ -31,10 +36,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/ResultCache.h"
 #include "service/CompilationService.h"
 #include "service/WorkUnit.h"
 #include "support/ArgParse.h"
 #include "support/TraceWriter.h"
+
+#include <memory>
 
 #include <cctype>
 #include <cstdio>
@@ -56,6 +64,8 @@ struct BatchOptions {
   uint64_t GenerateSeed = 1;
   std::string JsonPath;
   std::string TracePath;
+  bool UseCache = false;
+  size_t CacheBytes = 256u << 20;
   bool IncludeTimings = true;
   bool ShowStats = false;
   bool Quiet = false;
@@ -66,7 +76,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
       "       [--jobs=N] [--generate=N[:SEED]] [--seed=N] [--json=PATH]\n"
-      "       [--no-timings]\n"
+      "       [--no-timings] [--cache[=BYTES]]\n"
       "       [--stats] [--trace=PATH] [--check] [--run ARG,...] [--strict]\n"
       "       [--max-instructions=N] [--time-budget-ms=N] [--quiet]\n",
       Argv0);
@@ -129,6 +139,16 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
       Opts.TracePath = Arg.substr(std::strlen("--trace="));
     } else if (Arg == "--no-timings") {
       Opts.IncludeTimings = false;
+    } else if (Arg == "--cache") {
+      Opts.UseCache = true;
+    } else if (Arg.rfind("--cache=", 0) == 0) {
+      if (!parseUint64Arg(Arg.substr(std::strlen("--cache=")), Value) ||
+          Value == 0) {
+        std::fprintf(stderr, "bad --cache value in '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.UseCache = true;
+      Opts.CacheBytes = static_cast<size_t>(Value);
     } else if (Arg == "--stats") {
       Opts.ShowStats = true;
       Opts.Service.CollectStats = true;
@@ -213,6 +233,13 @@ int main(int Argc, char **Argv) {
   TraceWriter Trace;
   if (!Opts.TracePath.empty())
     Opts.Service.Trace = &Trace;
+
+  std::unique_ptr<ResultCache> Cache;
+  if (Opts.UseCache) {
+    Cache = std::make_unique<ResultCache>(
+        ResultCache::Options{Opts.CacheBytes, /*Shards=*/8});
+    Opts.Service.Cache = Cache.get();
+  }
 
   CompilationService Service(Opts.Service);
   BatchReport Report = Service.run(Units);
