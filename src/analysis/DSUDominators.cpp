@@ -1,0 +1,60 @@
+//===- analysis/DSUDominators.cpp -----------------------------------------===//
+//
+// Semidominators by link-eval disjoint set union (Lengauer-Tarjan step 2),
+// immediate dominators by the SemiNCA derivation. Everything below works in
+// DFS-preorder index space: a vertex *is* its preorder number, so the
+// "minimum semidominator" comparisons the forest performs are plain unsigned
+// comparisons and the per-vertex state is four flat arrays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DSUDominators.h"
+
+#include "ir/BasicBlock.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fcc;
+
+void fcc::computeIdomsDSU(const std::vector<BasicBlock *> &ByDfs,
+                          const std::vector<unsigned> &DfsNum,
+                          const std::vector<unsigned> &ParentPre,
+                          std::vector<BasicBlock *> &Idom) {
+  unsigned N = static_cast<unsigned>(ByDfs.size());
+  assert(Idom.size() == N && "caller sizes the idom array");
+  Idom[ByDfs[0]->id()] = nullptr;
+  if (N <= 1)
+    return;
+
+  // Semidominators, walking vertices in decreasing preorder. For each CFG
+  // predecessor v of w the candidate is v itself when v was not yet
+  // processed (preorder below w: a tree or forward edge, sdom[v] still the
+  // identity) and otherwise the minimum semidominator on the processed DFS
+  // path above v, which is exactly what eval() answers; linking w under its
+  // DFS parent afterwards extends those paths. Keys and labels are final
+  // when linked, the precondition the forest documents.
+  std::vector<unsigned> Sdom(N);
+  for (unsigned I = 0; I != N; ++I)
+    Sdom[I] = I;
+  LinkEvalForest Forest(N, Sdom.data());
+  for (unsigned W = N; W-- > 1;) {
+    for (const BasicBlock *P : ByDfs[W]->preds())
+      Sdom[W] = std::min(Sdom[W], Sdom[Forest.eval(DfsNum[P->id()])]);
+    Forest.link(W, ParentPre[W]);
+  }
+
+  // SemiNCA: idom(w) is the nearest common ancestor of w's DFS parent and
+  // sdom(w) in the dominator tree. Walking vertices in increasing preorder
+  // makes every idom met on the climb final, and the climb compares plain
+  // preorder numbers because an ancestor always has the smaller one.
+  std::vector<unsigned> IdomPre(N, 0);
+  for (unsigned W = 1; W != N; ++W) {
+    unsigned U = ParentPre[W];
+    while (U > Sdom[W])
+      U = IdomPre[U];
+    IdomPre[W] = U;
+    Idom[ByDfs[W]->id()] = ByDfs[U];
+  }
+}

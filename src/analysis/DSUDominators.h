@@ -1,0 +1,48 @@
+//===- analysis/DSUDominators.h - Near-linear idoms -------------*- C++ -*-===//
+///
+/// \file
+/// Immediate dominators via disjoint set union: semidominators computed with
+/// Tarjan's link-eval forest (path compression carrying minimum-semidominator
+/// labels, support/UnionFind.h), then immediate dominators derived by the
+/// SemiNCA walk — for each vertex in DFS preorder, climb the already-final
+/// idom chain from its DFS parent until reaching a vertex at or above its
+/// semidominator. This is the DSU-based dominator family of "Finding
+/// Dominators via Disjoint Set Union" (see PAPERS.md): near-linear in
+/// practice, against the CHK fixed point's O(n^2) worst case on deep CFGs.
+///
+/// The function only computes the idom array. The caller (DominatorTree)
+/// owns the DFS — so both dominator algorithms share one traversal, one
+/// reachability check and one decoration pass — and hands the traversal in
+/// as three parallel arrays in DFS-preorder space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_ANALYSIS_DSUDOMINATORS_H
+#define FCC_ANALYSIS_DSUDOMINATORS_H
+
+#include <vector>
+
+namespace fcc {
+
+class BasicBlock;
+
+/// Computes immediate dominators for the CFG captured by one depth-first
+/// search:
+///
+///   - \p ByDfs: blocks in DFS preorder; ByDfs[0] is the entry and every
+///     block of the function appears exactly once (reachability is the
+///     caller's checked precondition);
+///   - \p DfsNum: block id -> DFS preorder number;
+///   - \p ParentPre: DFS preorder number -> the DFS-tree parent's preorder
+///     number (entry 0 is unused).
+///
+/// On return Idom[block id] is the immediate dominator, nullptr for the
+/// entry. \p Idom must be pre-sized to the number of blocks.
+void computeIdomsDSU(const std::vector<BasicBlock *> &ByDfs,
+                     const std::vector<unsigned> &DfsNum,
+                     const std::vector<unsigned> &ParentPre,
+                     std::vector<BasicBlock *> &Idom);
+
+} // namespace fcc
+
+#endif // FCC_ANALYSIS_DSUDOMINATORS_H

@@ -1,11 +1,18 @@
 //===- analysis/DominatorTree.h - Dominance information ---------*- C++ -*-===//
 ///
 /// \file
-/// Dominator tree built with the Cooper–Harvey–Kennedy iterative algorithm,
-/// decorated with the Tarjan preorder / max-preorder numbering the paper's
-/// Figure 1 requires: `preorder(a) <= preorder(b) <= maxPreorder(a)` answers
-/// "does a dominate b?" in constant time, and the numbering is computed once
-/// per function regardless of how many dominance forests are built over it.
+/// Dominator tree decorated with the Tarjan preorder / max-preorder
+/// numbering the paper's Figure 1 requires: `preorder(a) <= preorder(b) <=
+/// maxPreorder(a)` answers "does a dominate b?" in constant time, and the
+/// numbering is computed once per function regardless of how many dominance
+/// forests are built over it.
+///
+/// Two interchangeable algorithms compute the idoms: the Cooper–Harvey–
+/// Kennedy iterative fixed point (the original implementation) and the
+/// near-linear disjoint-set-union scheme (analysis/DSUDominators.h). The
+/// dominator tree of a CFG is unique and both run off the same DFS and feed
+/// the same decoration pass, so the choice is observable only in build time
+/// — every table below is bit-identical across algorithms.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,11 +28,22 @@ namespace fcc {
 class BasicBlock;
 class Function;
 
-/// Immediate-dominator tree over a function's CFG. The function must verify
-/// (in particular every block must be reachable).
+/// Which algorithm computes the immediate dominators. Both yield the same
+/// decorated tree; see the file comment.
+enum class DomAlgorithm : unsigned char {
+  CHK, ///< Cooper–Harvey–Kennedy iterative fixed point.
+  DSU, ///< Semidominators via link-eval disjoint set union + SemiNCA.
+};
+
+/// Immediate-dominator tree over a function's CFG. The function must verify;
+/// in particular every block must be reachable, and that precondition is
+/// checked: construction throws std::invalid_argument on a CFG with
+/// unreachable blocks (a corrupt RPO would silently poison every downstream
+/// pass, so this holds in release builds too).
 class DominatorTree {
 public:
-  explicit DominatorTree(const Function &F);
+  explicit DominatorTree(const Function &F,
+                         DomAlgorithm Algo = DomAlgorithm::CHK);
 
   const Function &function() const { return F; }
 

@@ -32,16 +32,25 @@ inline bool orInto(uint64_t *Dst, const uint64_t *Src, size_t NumWords) {
 
 } // namespace
 
-Liveness::Liveness(const Function &F) {
+Liveness::Liveness(const Function &F, LivenessAlgorithm Algo) {
   NumBlocks = F.numBlocks();
   unsigned NumVars = F.numVariables();
   WordsPerSet = (size_t(NumVars) + 63) / 64;
 
   // Persistent storage: live-in and live-out words for every block, one
-  // allocation. The transient per-block sets (upward-exposed uses,
-  // definitions, phi uses) plus the solver scratch share a second flat
-  // buffer freed when construction returns.
+  // allocation shared by both algorithms (which is what makes their results
+  // bit-comparable and their accessors interchangeable).
   Words.assign(2 * size_t(NumBlocks) * WordsPerSet, 0);
+  if (Algo == LivenessAlgorithm::Sparse)
+    solveSparse(F);
+  else
+    solveDense(F);
+}
+
+void Liveness::solveDense(const Function &F) {
+  // The transient per-block sets (upward-exposed uses, definitions, phi
+  // uses) plus the solver scratch share a second flat buffer freed when the
+  // solve returns.
   std::vector<uint64_t> Transient((3 * size_t(NumBlocks) + 1) * WordsPerSet,
                                   0);
   auto UEVar = [&](unsigned Id) {

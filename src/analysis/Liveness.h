@@ -29,10 +29,26 @@ class BasicBlock;
 class Function;
 class Variable;
 
+/// Which algorithm populates the sets. Both write the same flat storage and
+/// produce bit-identical live sets; the choice is observable only in solve
+/// time.
+enum class LivenessAlgorithm : unsigned char {
+  /// Backward iterative data flow to a fixed point. Handles any input,
+  /// including multi-definition non-SSA code (the Briggs webs and the
+  /// post-rewrite allocation checks need exactly that).
+  Dense,
+  /// Per-variable def-use walks (analysis/SparseLiveness.cpp): from every
+  /// use, mark live-out bits walking predecessors until the defining block.
+  /// Requires strict single-definition (SSA) input — a checked
+  /// precondition; construction throws std::invalid_argument otherwise.
+  Sparse,
+};
+
 /// Block-boundary liveness sets over a function's variables.
 class Liveness {
 public:
-  explicit Liveness(const Function &F);
+  explicit Liveness(const Function &F,
+                    LivenessAlgorithm Algo = LivenessAlgorithm::Dense);
 
   IndexSetView liveIn(const BasicBlock *B) const;
   IndexSetView liveOut(const BasicBlock *B) const;
@@ -40,10 +56,15 @@ public:
   bool isLiveIn(const BasicBlock *B, const Variable *V) const;
   bool isLiveOut(const BasicBlock *B, const Variable *V) const;
 
-  /// Bytes held by the live sets (for the memory experiments).
-  size_t bytes() const { return Words.capacity() * sizeof(uint64_t); }
+  /// Bytes held by the live sets (for the memory experiments). Committed
+  /// size, not capacity: the buffer is sized exactly once, and capacity
+  /// would overstate the footprint on libraries that round allocations up.
+  size_t bytes() const { return Words.size() * sizeof(uint64_t); }
 
 private:
+  void solveDense(const Function &F);
+  void solveSparse(const Function &F); // Defined in SparseLiveness.cpp.
+
   uint64_t *inWords(unsigned BlockId) {
     return Words.data() + size_t(BlockId) * WordsPerSet;
   }

@@ -1,0 +1,132 @@
+//===- analysis/SparseLiveness.cpp ----------------------------------------===//
+//
+// Liveness::solveSparse — the per-variable def-use walk documented in
+// SparseLiveness.h. Lives in its own file so the algorithm, its checked SSA
+// preconditions and its tests have a home separate from the dense solver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SparseLiveness.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+inline void setBit(uint64_t *W, unsigned Id) {
+  W[Id / 64] |= uint64_t(1) << (Id % 64);
+}
+inline bool testBit(const uint64_t *W, unsigned Id) {
+  return (W[Id / 64] >> (Id % 64)) & 1;
+}
+
+} // namespace
+
+void Liveness::solveSparse(const Function &F) {
+  unsigned NumVars = F.numVariables();
+  constexpr unsigned kNoDef = ~0u;
+  constexpr unsigned kParam = ~0u - 1; // Defined above the entry block.
+
+  // The unique defining block per variable. Parameters are defined *above*
+  // entry, not at its top: no block kills them, so a use anywhere makes
+  // them upward-exposed all the way into live-in(entry) — exactly how the
+  // dense solver sees them (no defining instruction, hence in UEVar of
+  // every using block). A second definition anywhere violates the SSA
+  // precondition the walk's early stop depends on — hard error, because an
+  // unnoticed violation would just produce silently-too-small live sets.
+  auto Violation = [&](const Variable *V, const char *What) {
+    throw std::invalid_argument("sparse liveness(@" + F.name() + "): %" +
+                                V->name() + " " + What +
+                                "; sparse liveness requires strict "
+                                "single-definition (SSA) input");
+  };
+  std::vector<unsigned> DefBlock(NumVars, kNoDef);
+  for (const Variable *P : F.params())
+    DefBlock[P->id()] = kParam;
+  for (const auto &B : F.blocks()) {
+    auto NoteDef = [&](const Variable *V) {
+      if (DefBlock[V->id()] != kNoDef)
+        Violation(V, "has more than one definition");
+      DefBlock[V->id()] = B->id();
+    };
+    for (const auto &Phi : B->phis())
+      NoteDef(Phi->getDef());
+    for (const auto &I : B->insts())
+      if (const Variable *Def = I->getDef())
+        NoteDef(Def);
+  }
+
+  // The upward walk: mark v live-out of a block and, unless that block
+  // defines v, live-in too and continue through its predecessors. The
+  // live-out bit doubles as the visited marker, so every (variable, block)
+  // pair enters the worklist O(in-degree) times and is expanded once.
+  std::vector<unsigned> Work;
+  auto LiveOutUpwards = [&](const BasicBlock *From, unsigned VarId) {
+    Work.push_back(From->id());
+    while (!Work.empty()) {
+      unsigned P = Work.back();
+      Work.pop_back();
+      uint64_t *Out = outWords(P);
+      if (testBit(Out, VarId))
+        continue;
+      setBit(Out, VarId);
+      if (DefBlock[VarId] == P)
+        continue;
+      setBit(inWords(P), VarId);
+      for (const BasicBlock *Q : F.block(P)->preds())
+        Work.push_back(Q->id());
+    }
+  };
+
+  // DefSeen stamps, per block scan, which variables are already defined
+  // above the current instruction (phi results count as defined at the
+  // block top): a same-block use stamped otherwise is a use before its
+  // definition — strictness violation, same hard error. Parameters never
+  // take that path (kParam matches no block id).
+  std::vector<unsigned> DefSeen(NumVars, kNoDef);
+  for (const auto &B : F.blocks()) {
+    unsigned Id = B->id();
+    uint64_t *In = inWords(Id);
+    for (const auto &Phi : B->phis())
+      DefSeen[Phi->getDef()->id()] = Id;
+
+    for (const auto &I : B->insts()) {
+      I->forEachUsedVar([&](const Variable *V) {
+        unsigned VarId = V->id();
+        if (DefBlock[VarId] == kNoDef)
+          Violation(V, "is used but never defined");
+        if (DefBlock[VarId] == Id) {
+          if (DefSeen[VarId] != Id)
+            Violation(V, "is used above its definition");
+          return; // Defined here: not upward-exposed, walk ends here too.
+        }
+        if (testBit(In, VarId))
+          return; // Already reached through a successor's walk.
+        setBit(In, VarId);
+        for (const BasicBlock *P : B->preds())
+          LiveOutUpwards(P, VarId);
+      });
+      if (const Variable *Def = I->getDef())
+        DefSeen[Def->id()] = Id;
+    }
+
+    // Phi operands are uses on the incoming edge: live out of the matching
+    // predecessor, never live-in here (the Section 3.1 convention).
+    for (const auto &Phi : B->phis())
+      for (unsigned Idx = 0, E = Phi->getNumOperands(); Idx != E; ++Idx) {
+        const Operand &O = Phi->getOperand(Idx);
+        if (!O.isVar())
+          continue;
+        if (DefBlock[O.getVar()->id()] == kNoDef)
+          Violation(O.getVar(), "is used but never defined");
+        LiveOutUpwards(B->preds()[Idx], O.getVar()->id());
+      }
+  }
+}

@@ -15,6 +15,7 @@
 #include "ir/Module.h"
 #include "ir/Variable.h"
 #include "ir/Verifier.h"
+#include "pipeline/Pipeline.h"
 #include "regalloc/GraphColoringAllocator.h"
 #include "ssa/SSABuilder.h"
 #include "ssa/StandardDestruction.h"
@@ -42,6 +43,11 @@ struct OracleConfig {
   SSAFlavor Flavor;
   bool Fold;
   DestructKind Destruct;
+  /// Dominator/liveness implementations for this configuration. Defaults
+  /// to the pipeline default (DSU + sparse); the "legacy-analyses" entry
+  /// pins the old pair so every campaign compares new-vs-old end to end on
+  /// top of the direct bit-level cross-validation below.
+  AnalysisStrategy Analyses = {};
 };
 
 /// Every SSA flavor appears with folding so the fast coalescer's deleted-
@@ -58,6 +64,8 @@ constexpr OracleConfig Configs[] = {
      DestructKind::Standard},
     {"pruned+fold/fast-checked", SSAFlavor::Pruned, true,
      DestructKind::FastChecked},
+    {"pruned+fold/fast-legacy-analyses", SSAFlavor::Pruned, true,
+     DestructKind::Fast, legacyAnalyses()},
     {"pruned+fold/standard", SSAFlavor::Pruned, true, DestructKind::Standard},
     {"pruned+nofold/fast", SSAFlavor::Pruned, false, DestructKind::Fast},
     {"pruned+nofold/standard", SSAFlavor::Pruned, false,
@@ -108,7 +116,7 @@ std::string formatArgs(const std::vector<int64_t> &Args) {
 /// re-verification, crashes via the caller's catch.
 bool runConfig(Function &F, const OracleConfig &C, std::string &Error) {
   splitCriticalEdges(F);
-  DominatorTree DT(F);
+  DominatorTree DT(F, C.Analyses.Dominators);
   SSABuildOptions Build;
   Build.Flavor = C.Flavor;
   Build.FoldCopies = C.Fold;
@@ -120,7 +128,7 @@ bool runConfig(Function &F, const OracleConfig &C, std::string &Error) {
     return true;
   case DestructKind::Fast:
   case DestructKind::FastChecked: {
-    Liveness LV(F);
+    Liveness LV(F, C.Analyses.Liveness);
     FastCoalescer Coalescer(F, DT, LV);
     Coalescer.computePartition();
     if (C.Destruct == DestructKind::FastChecked &&
@@ -139,6 +147,60 @@ bool runConfig(Function &F, const OracleConfig &C, std::string &Error) {
     coalesceCopiesBriggs(F, BO);
     return true;
   }
+  }
+  return true;
+}
+
+/// Direct analysis cross-validation: on one fresh copy of the function,
+/// build dominators with both algorithms and liveness (over pruned+fold
+/// SSA) with both solvers, and demand bit-identical results — idom,
+/// preorder and max-preorder per block, every live-in/live-out word per
+/// block. Catches any divergence long before it could bias a pipeline
+/// comparison. Returns false with \p Detail set to the first disagreement.
+bool crossValidateAnalyses(Function &F, std::string &Detail) {
+  splitCriticalEdges(F);
+  DominatorTree Chk(F, DomAlgorithm::CHK);
+  DominatorTree Dsu(F, DomAlgorithm::DSU);
+  for (const auto &B : F.blocks()) {
+    if (Chk.idom(B.get()) != Dsu.idom(B.get())) {
+      auto Name = [](BasicBlock *D) {
+        return D ? D->name() : std::string("<none>");
+      };
+      Detail = "idom(" + B->name() + "): CHK " + Name(Chk.idom(B.get())) +
+               " != DSU " + Name(Dsu.idom(B.get()));
+      return false;
+    }
+    if (Chk.preorder(B.get()) != Dsu.preorder(B.get()) ||
+        Chk.maxPreorder(B.get()) != Dsu.maxPreorder(B.get())) {
+      Detail = "preorder(" + B->name() + "): CHK [" +
+               std::to_string(Chk.preorder(B.get())) + "," +
+               std::to_string(Chk.maxPreorder(B.get())) + "] != DSU [" +
+               std::to_string(Dsu.preorder(B.get())) + "," +
+               std::to_string(Dsu.maxPreorder(B.get())) + "]";
+      return false;
+    }
+  }
+
+  SSABuildOptions Build;
+  Build.FoldCopies = true;
+  buildSSA(F, Chk, Build);
+  Liveness Dense(F, LivenessAlgorithm::Dense);
+  Liveness Sparse(F, LivenessAlgorithm::Sparse);
+  for (const auto &B : F.blocks()) {
+    auto Differs = [](IndexSetView A, IndexSetView B2) {
+      for (size_t W = 0; W != A.numWords(); ++W)
+        if (A.words()[W] != B2.words()[W])
+          return true;
+      return false;
+    };
+    if (Differs(Dense.liveIn(B.get()), Sparse.liveIn(B.get()))) {
+      Detail = "live-in(" + B->name() + "): dense != sparse";
+      return false;
+    }
+    if (Differs(Dense.liveOut(B.get()), Sparse.liveOut(B.get()))) {
+      Detail = "live-out(" + B->name() + "): dense != sparse";
+      return false;
+    }
   }
   return true;
 }
@@ -269,6 +331,8 @@ const char *fcc::divergenceKindName(DivergenceKind Kind) {
     return "copy-regression";
   case DivergenceKind::AllocUnsound:
     return "alloc-unsound";
+  case DivergenceKind::AnalysisMismatch:
+    return "analysis-mismatch";
   case DivergenceKind::InternalError:
     return "internal-error";
   }
@@ -375,6 +439,29 @@ OracleResult fcc::runDifferentialOracle(const std::string &IrText,
           Result.Divergences.push_back({DivergenceKind::InternalError,
                                         Config + "/regalloc", E.what()});
         }
+      }
+    }
+  }
+
+  // Direct analysis cross-validation: both dominator algorithms and both
+  // liveness solvers over one fresh copy of every function, compared bit
+  // for bit (independent of the end-to-end legacy-analyses configuration
+  // above, which only observes divergence through pipeline output).
+  {
+    std::string ParseError;
+    std::unique_ptr<Module> M = parseModule(IrText, ParseError);
+    for (unsigned FI = 0; M && FI != NumFuncs; ++FI) {
+      Function &F = *M->functions()[FI];
+      std::string Config = "@" + F.name() + " analysis-crosscheck";
+      ++Result.ConfigsRun;
+      std::string Detail;
+      try {
+        if (!crossValidateAnalyses(F, Detail))
+          Result.Divergences.push_back(
+              {DivergenceKind::AnalysisMismatch, Config, Detail});
+      } catch (const std::exception &E) {
+        Result.Divergences.push_back(
+            {DivergenceKind::InternalError, Config, E.what()});
       }
     }
   }

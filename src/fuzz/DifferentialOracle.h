@@ -15,7 +15,12 @@
 ///     copies the standard scheme inserts);
 ///   - the graph-coloring allocator's assignment over the fast-coalesced
 ///     code is interference-free (re-derived from scratch liveness, not
-///     from the allocator's own graph).
+///     from the allocator's own graph);
+///   - the interchangeable analysis implementations agree: the DSU and CHK
+///     dominator algorithms must decorate identical trees and the sparse
+///     and dense liveness solvers must fill identical sets on every input
+///     (checked directly, bit for bit, plus an end-to-end configuration
+///     that runs the paper pipeline under the legacy analyses).
 ///
 /// Everything is deterministic: a fixed input text and OracleOptions always
 /// produce the same verdict, which is what lets the fuzz driver shard runs
@@ -54,10 +59,12 @@ enum class DivergenceKind {
   VerifyFail,     ///< The rewritten function no longer verifies.
   CheckRefuted,   ///< CoalescingChecker refuted the fast partition.
   ExecMismatch,   ///< Return value / completion / final memory diverged.
-  CopyRegression, ///< Fast coalescing left more copies than naive
-                  ///< destruction of the same SSA flavor.
-  AllocUnsound,   ///< Two simultaneously-live variables share a register.
-  InternalError,  ///< A pass threw; captured, remaining configs still ran.
+  CopyRegression,   ///< Fast coalescing left more copies than naive
+                    ///< destruction of the same SSA flavor.
+  AllocUnsound,     ///< Two simultaneously-live variables share a register.
+  AnalysisMismatch, ///< DSU vs CHK dominators or sparse vs dense liveness
+                    ///< disagreed on the same function.
+  InternalError,    ///< A pass threw; captured, remaining configs still ran.
 };
 
 /// Stable lower-case name ("exec-mismatch", ...).

@@ -33,8 +33,31 @@ const char *fcc::pipelineName(PipelineKind Kind) {
   return "<invalid>";
 }
 
-PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind,
-                                const Instrumentation *Instr) {
+const char *fcc::analysisStrategyName(AnalysisStrategy Strategy) {
+  bool Dsu = Strategy.Dominators == DomAlgorithm::DSU;
+  if (Strategy.Liveness == LivenessAlgorithm::Sparse)
+    return Dsu ? "dsu+sparse" : "chk+sparse";
+  return Dsu ? "dsu+dense" : "chk+dense";
+}
+
+bool fcc::parseAnalysisStrategy(const std::string &Text,
+                                AnalysisStrategy &Out) {
+  if (Text == "fast" || Text == "dsu+sparse")
+    Out = AnalysisStrategy{};
+  else if (Text == "legacy" || Text == "chk+dense")
+    Out = legacyAnalyses();
+  else if (Text == "dsu+dense")
+    Out = {DomAlgorithm::DSU, LivenessAlgorithm::Dense};
+  else if (Text == "chk+sparse")
+    Out = {DomAlgorithm::CHK, LivenessAlgorithm::Sparse};
+  else
+    return false;
+  return true;
+}
+
+PipelineResult fcc::runPipeline(Function &F, const PipelineOptions &Opts) {
+  const PipelineKind Kind = Opts.Kind;
+  const Instrumentation *Instr = Opts.Instr;
   PipelineResult Result;
   Result.Kind = Kind;
   // When instrumented, every top-level phase lands in Result.Phases; only
@@ -52,14 +75,14 @@ PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind,
     std::optional<DominatorTree> DT;
     {
       PhaseScope P(Instr, "dominators", "pipeline", Ph);
-      DT.emplace(F);
+      DT.emplace(F, Opts.Analyses.Dominators);
     }
-    SSABuildOptions Opts;
-    Opts.FoldCopies = true;
+    SSABuildOptions BuildOpts;
+    BuildOpts.FoldCopies = true;
     SSABuildStats Ssa;
     {
       PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
-      Ssa = buildSSA(F, *DT, Opts);
+      Ssa = buildSSA(F, *DT, BuildOpts);
     }
     DestructionStats Destr;
     {
@@ -76,19 +99,19 @@ PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind,
     std::optional<DominatorTree> DT;
     {
       PhaseScope P(Instr, "dominators", "pipeline", Ph);
-      DT.emplace(F);
+      DT.emplace(F, Opts.Analyses.Dominators);
     }
-    SSABuildOptions Opts;
-    Opts.FoldCopies = true;
+    SSABuildOptions BuildOpts;
+    BuildOpts.FoldCopies = true;
     SSABuildStats Ssa;
     {
       PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
-      Ssa = buildSSA(F, *DT, Opts);
+      Ssa = buildSSA(F, *DT, BuildOpts);
     }
     std::optional<Liveness> LV;
     {
       PhaseScope P(Instr, "liveness", "pipeline", Ph);
-      LV.emplace(F);
+      LV.emplace(F, Opts.Analyses.Liveness);
     }
     FastCoalescerOptions CoOpts;
     CoOpts.Instr = Instr;
@@ -114,14 +137,14 @@ PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind,
     std::optional<DominatorTree> DT;
     {
       PhaseScope P(Instr, "dominators", "pipeline", Ph);
-      DT.emplace(F);
+      DT.emplace(F, Opts.Analyses.Dominators);
     }
-    SSABuildOptions Opts;
-    Opts.FoldCopies = false;
+    SSABuildOptions BuildOpts;
+    BuildOpts.FoldCopies = false;
     SSABuildStats Ssa;
     {
       PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
-      Ssa = buildSSA(F, *DT, Opts);
+      Ssa = buildSSA(F, *DT, BuildOpts);
     }
     {
       PhaseScope P(Instr, "live-range-webs", "pipeline", Ph);
@@ -150,9 +173,9 @@ PipelineResult fcc::runPipeline(Function &F, PipelineKind Kind,
   return Result;
 }
 
-bool fcc::runPipelineChecked(Function &F, PipelineResult &Result,
-                             std::string &Error,
-                             const Instrumentation *Instr) {
+bool fcc::runPipelineChecked(Function &F, const PipelineOptions &Opts,
+                             PipelineResult &Result, std::string &Error) {
+  const Instrumentation *Instr = Opts.Instr;
   Result = PipelineResult();
   Result.Kind = PipelineKind::New;
   std::vector<PhaseSample> *Ph = Instr ? &Result.Phases : nullptr;
@@ -165,19 +188,19 @@ bool fcc::runPipelineChecked(Function &F, PipelineResult &Result,
   std::optional<DominatorTree> DT;
   {
     PhaseScope P(Instr, "dominators", "pipeline", Ph);
-    DT.emplace(F);
+    DT.emplace(F, Opts.Analyses.Dominators);
   }
-  SSABuildOptions Opts;
-  Opts.FoldCopies = true;
+  SSABuildOptions BuildOpts;
+  BuildOpts.FoldCopies = true;
   SSABuildStats Ssa;
   {
     PhaseScope P(Instr, "ssa-build", "pipeline", Ph);
-    Ssa = buildSSA(F, *DT, Opts);
+    Ssa = buildSSA(F, *DT, BuildOpts);
   }
   std::optional<Liveness> LV;
   {
     PhaseScope P(Instr, "liveness", "pipeline", Ph);
-    LV.emplace(F);
+    LV.emplace(F, Opts.Analyses.Liveness);
   }
 
   FastCoalescerOptions CoOpts;

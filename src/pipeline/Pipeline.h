@@ -33,6 +33,8 @@
 #ifndef FCC_PIPELINE_PIPELINE_H
 #define FCC_PIPELINE_PIPELINE_H
 
+#include "analysis/DominatorTree.h"
+#include "analysis/Liveness.h"
 #include "interp/Interpreter.h"
 #include "support/Stats.h"
 #include "workload/KernelSuite.h"
@@ -50,6 +52,32 @@ enum class PipelineKind { Standard, New, Briggs, BriggsImproved };
 
 /// Display name ("Standard", "New", "Briggs", "Briggs*").
 const char *pipelineName(PipelineKind Kind);
+
+/// Which implementations back the pipeline's dominator and liveness
+/// analyses. Strictly an implementation choice: both dominator algorithms
+/// decorate the identical (unique) tree and both liveness algorithms fill
+/// identical bit sets, so rewritten code, reports and PeakBytes are
+/// byte-for-byte the same under any strategy — the DifferentialOracle
+/// cross-validates exactly that on every fuzz campaign. The default is the
+/// near-linear pair; legacyAnalyses() is the pre-DSU configuration kept for
+/// A/B measurement and differential testing.
+struct AnalysisStrategy {
+  DomAlgorithm Dominators = DomAlgorithm::DSU;
+  LivenessAlgorithm Liveness = LivenessAlgorithm::Sparse;
+};
+
+/// The original CHK + dense-iterative configuration.
+constexpr AnalysisStrategy legacyAnalyses() {
+  return {DomAlgorithm::CHK, LivenessAlgorithm::Dense};
+}
+
+/// Canonical spelling: "dsu+sparse", "dsu+dense", "chk+sparse", "chk+dense".
+const char *analysisStrategyName(AnalysisStrategy Strategy);
+
+/// Parses an --analysis= value: a canonical spelling, or the aliases
+/// "fast" (dsu+sparse) and "legacy" (chk+dense). Returns false on anything
+/// else, leaving \p Out untouched.
+bool parseAnalysisStrategy(const std::string &Text, AnalysisStrategy &Out);
 
 /// Measurements from one pipeline run over one function.
 struct PipelineResult {
@@ -78,25 +106,49 @@ struct PipelineResult {
   std::vector<PhaseSample> Phases;
 };
 
+/// Everything one pipeline invocation can be configured with.
+struct PipelineOptions {
+  PipelineKind Kind = PipelineKind::New;
+  AnalysisStrategy Analyses;
+  /// When non-null, each phase is timed into Result.Phases and reported to
+  /// the instrumentation's sinks (registry counters/timers, Chrome trace
+  /// events); null is the uninstrumented fast path with no extra clock
+  /// reads.
+  const Instrumentation *Instr = nullptr;
+};
+
 /// Runs one configuration over \p F in place. \p F must be a verified,
-/// strict, phi-free input program. When \p Instr is non-null, each phase is
-/// timed into Result.Phases and reported to the instrumentation's sinks
-/// (registry counters/timers, Chrome trace events); a null \p Instr is the
-/// uninstrumented fast path with no extra clock reads.
-PipelineResult runPipeline(Function &F, PipelineKind Kind,
-                           const Instrumentation *Instr = nullptr);
+/// strict, phi-free input program.
+PipelineResult runPipeline(Function &F, const PipelineOptions &Opts);
+
+/// Convenience overload with the default analysis strategy.
+inline PipelineResult runPipeline(Function &F, PipelineKind Kind,
+                                  const Instrumentation *Instr = nullptr) {
+  PipelineOptions Opts;
+  Opts.Kind = Kind;
+  Opts.Instr = Instr;
+  return runPipeline(F, Opts);
+}
 
 /// The New configuration with a safety net: after the coalescer decides its
 /// partition (phases 1-4) and before any rewriting, the assignment is
 /// cross-validated with CoalescingChecker against exact SSA liveness. On
-/// success behaves exactly like runPipeline(F, PipelineKind::New), with the
-/// checker's own time excluded from TimeMicros (and from the "pipeline"
-/// phase samples — the audit traces under category "audit"). On refutation
-/// returns false, fills \p Error with the offending pair and leaves \p F in
-/// SSA form.
-bool runPipelineChecked(Function &F, PipelineResult &Result,
-                        std::string &Error,
-                        const Instrumentation *Instr = nullptr);
+/// success behaves exactly like runPipeline with Kind New (Opts.Kind is
+/// ignored), with the checker's own time excluded from TimeMicros (and from
+/// the "pipeline" phase samples — the audit traces under category "audit").
+/// On refutation returns false, fills \p Error with the offending pair and
+/// leaves \p F in SSA form.
+bool runPipelineChecked(Function &F, const PipelineOptions &Opts,
+                        PipelineResult &Result, std::string &Error);
+
+/// Convenience overload with the default analysis strategy.
+inline bool runPipelineChecked(Function &F, PipelineResult &Result,
+                               std::string &Error,
+                               const Instrumentation *Instr = nullptr) {
+  PipelineOptions Opts;
+  Opts.Instr = Instr;
+  return runPipelineChecked(F, Opts, Result, Error);
+}
 
 /// One routine compiled under one configuration, optionally executed.
 struct RoutineReport {

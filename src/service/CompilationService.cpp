@@ -63,6 +63,8 @@ uint64_t configFingerprint(const ServiceOptions &O) {
   Hasher128 H;
   H.absorb(0xfccc0f19); // Domain tag: service configuration.
   H.absorb(static_cast<uint64_t>(O.Pipeline));
+  H.absorb(static_cast<uint64_t>(O.Analyses.Dominators) << 8 |
+           static_cast<uint64_t>(O.Analyses.Liveness));
   uint64_t Flags = 0;
   Flags |= O.CheckPartition ? 1u : 0u;
   Flags |= O.VerifyOutput ? 2u : 0u;
@@ -322,11 +324,15 @@ UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
 
     Instr.Function = F.name();
     const Instrumentation *InstrPtr = Observe ? &Instr : nullptr;
+    PipelineOptions PipeOpts;
+    PipeOpts.Kind = Opts.Pipeline;
+    PipeOpts.Analyses = Opts.Analyses;
+    PipeOpts.Instr = InstrPtr;
     if (Opts.CheckPartition && Opts.Pipeline == PipelineKind::New) {
-      if (!runPipelineChecked(F, Record.Compile, Error, InstrPtr))
+      if (!runPipelineChecked(F, PipeOpts, Record.Compile, Error))
         return Fail(UnitStatus::CheckFailed, "@" + F.name() + ": " + Error);
     } else {
-      Record.Compile = runPipeline(F, Opts.Pipeline, InstrPtr);
+      Record.Compile = runPipeline(F, PipeOpts);
     }
 
     if (Registry)

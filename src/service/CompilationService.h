@@ -44,6 +44,11 @@ class TraceWriter;
 /// Knobs for one batch run.
 struct ServiceOptions {
   PipelineKind Pipeline = PipelineKind::New;
+  /// Which dominator / liveness implementations back the pipeline (see
+  /// pipeline/Pipeline.h). Behaviour-preserving, but folded into the cache
+  /// key anyway — fingerprinting every knob is cheaper than proving each
+  /// new one can never change report bytes.
+  AnalysisStrategy Analyses;
   /// Worker threads; 0 means hardware concurrency, 1 runs inline.
   unsigned Jobs = 1;
   /// Validate every New-pipeline partition with CoalescingChecker before

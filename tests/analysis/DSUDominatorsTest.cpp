@@ -1,0 +1,168 @@
+//===- tests/analysis/DSUDominatorsTest.cpp -------------------------------===//
+//
+// The DSU dominator algorithm against the CHK fixed point: the dominator
+// tree of a CFG is unique, so the two must agree on every idom and on the
+// entire preorder/max-preorder decoration, on every program we can throw at
+// them — the canonical fixtures, every hand-written kernel, a generator
+// sweep, and a pathologically deep CFG (which doubles as a recursion-safety
+// check). The shared unreachable-block precondition is covered for both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+
+#include "../common/TestPrograms.h"
+#include "analysis/CFGUtils.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Module.h"
+#include "workload/KernelSuite.h"
+#include "workload/ProgramGenerator.h"
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+using namespace fcc;
+
+namespace {
+
+/// Builds both trees over \p F and asserts they decorate identically.
+void expectIdenticalTrees(const Function &F, const std::string &Context) {
+  DominatorTree Chk(F, DomAlgorithm::CHK);
+  DominatorTree Dsu(F, DomAlgorithm::DSU);
+  for (const auto &B : F.blocks()) {
+    EXPECT_EQ(Chk.idom(B.get()), Dsu.idom(B.get()))
+        << Context << ": idom(" << B->name() << ")";
+    EXPECT_EQ(Chk.preorder(B.get()), Dsu.preorder(B.get()))
+        << Context << ": preorder(" << B->name() << ")";
+    EXPECT_EQ(Chk.maxPreorder(B.get()), Dsu.maxPreorder(B.get()))
+        << Context << ": maxPreorder(" << B->name() << ")";
+    EXPECT_EQ(Chk.children(B.get()), Dsu.children(B.get()))
+        << Context << ": children(" << B->name() << ")";
+  }
+  EXPECT_EQ(Chk.preorderBlocks(), Dsu.preorderBlocks()) << Context;
+  EXPECT_EQ(Chk.reversePostorder(), Dsu.reversePostorder()) << Context;
+  EXPECT_EQ(Chk.bytes(), Dsu.bytes()) << Context;
+}
+
+TEST(DSUDominatorsTest, AgreesOnCanonicalPrograms) {
+  const char *Programs[] = {
+      testprogs::StraightLine, testprogs::SumLoop,  testprogs::Diamond,
+      testprogs::VirtualSwap,  testprogs::SwapLoop, testprogs::LostCopy,
+      testprogs::ArraySum,     testprogs::NestedLoops};
+  for (const char *Text : Programs) {
+    auto M = parseSingleFunctionOrDie(Text);
+    Function &F = *M->functions()[0];
+    expectIdenticalTrees(F, F.name());
+    // Critical-edge splitting reshapes the CFG the way the pipeline does;
+    // the algorithms must agree on that shape too.
+    splitCriticalEdges(F);
+    expectIdenticalTrees(F, F.name() + " (split)");
+  }
+}
+
+TEST(DSUDominatorsTest, AgreesOnEveryKernel) {
+  for (const RoutineSpec &Spec : kernelSuite()) {
+    auto M = Spec.materialize();
+    for (auto &F : M->functions()) {
+      splitCriticalEdges(*F);
+      expectIdenticalTrees(*F, Spec.Name);
+    }
+  }
+}
+
+TEST(DSUDominatorsTest, AgreesOnGeneratorSweep) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Module M;
+    GeneratorOptions Opts;
+    Opts.Seed = Seed;
+    Opts.SizeBudget = 40 + static_cast<unsigned>(Seed) * 17;
+    Opts.NumVars = 11;
+    Function *F = generateProgram(M, "g" + std::to_string(Seed), Opts);
+    splitCriticalEdges(*F);
+    expectIdenticalTrees(*F, F->name());
+  }
+}
+
+TEST(DSUDominatorsTest, DeepChainIsIterativelySafe) {
+  // A straight chain thousands of blocks deep: any recursive DFS, eval or
+  // decoration pass would blow the stack here, and the idoms are exactly
+  // the chain itself, so the answer is checkable in closed form.
+  constexpr unsigned Depth = 20000;
+  std::string Text = "func @deep(%a) {\nentry:\n  br b0\n";
+  for (unsigned I = 0; I != Depth; ++I) {
+    Text += "b" + std::to_string(I) + ":\n";
+    Text += I + 1 == Depth ? std::string("  ret %a\n")
+                           : "  br b" + std::to_string(I + 1) + "\n";
+  }
+  Text += "}\n";
+  auto M = parseSingleFunctionOrDie(Text);
+  Function &F = *M->functions()[0];
+  DominatorTree Dsu(F, DomAlgorithm::DSU);
+  const BasicBlock *Prev = F.entry();
+  EXPECT_EQ(Dsu.idom(Prev), nullptr);
+  for (unsigned I = 0; I != Depth; ++I) {
+    const BasicBlock *B = F.findBlock("b" + std::to_string(I));
+    ASSERT_NE(B, nullptr);
+    EXPECT_EQ(Dsu.idom(B), Prev);
+    EXPECT_EQ(Dsu.preorder(B), I + 1);
+    EXPECT_EQ(Dsu.maxPreorder(B), Depth);
+    Prev = B;
+  }
+  expectIdenticalTrees(F, "deep chain");
+}
+
+TEST(DSUDominatorsTest, UnreachableBlocksThrowUnderBothAlgorithms) {
+  // The checked precondition both implementations share (it replaced an
+  // assert that NDEBUG compiled away): a block unreachable from entry
+  // corrupts the RPO and every downstream pass, so construction must
+  // refuse, in release builds too.
+  auto M = parseSingleFunctionOrDie(R"(
+func @unreach(%a) {
+entry:
+  ret %a
+island:
+  br island
+}
+)");
+  Function &F = *M->functions()[0];
+  EXPECT_THROW(DominatorTree(F, DomAlgorithm::CHK), std::invalid_argument);
+  EXPECT_THROW(DominatorTree(F, DomAlgorithm::DSU), std::invalid_argument);
+  try {
+    DominatorTree DT(F, DomAlgorithm::DSU);
+    FAIL() << "construction over an unreachable block must throw";
+  } catch (const std::invalid_argument &E) {
+    EXPECT_NE(std::string(E.what()).find("unreachable"), std::string::npos)
+        << "diagnostic should name the problem: " << E.what();
+  }
+}
+
+TEST(DSUDominatorsTest, IrreducibleCfgAgrees) {
+  // Two loop headers jumping into each other — irreducible control flow,
+  // where naive interval-style reasoning breaks; both algorithms must
+  // still agree (the unique idom of both headers is the entry branch).
+  auto M = parseSingleFunctionOrDie(R"(
+func @irreducible(%c) {
+entry:
+  cbr %c, h1, h2
+h1:
+  %x = const 1
+  cbr %x, h2, exit
+h2:
+  %y = const 2
+  cbr %y, h1, exit
+exit:
+  ret %c
+}
+)");
+  Function &F = *M->functions()[0];
+  expectIdenticalTrees(F, "irreducible");
+  DominatorTree Dsu(F, DomAlgorithm::DSU);
+  EXPECT_EQ(Dsu.idom(F.findBlock("h1")), F.entry());
+  EXPECT_EQ(Dsu.idom(F.findBlock("h2")), F.entry());
+  EXPECT_EQ(Dsu.idom(F.findBlock("exit")), F.entry());
+}
+
+} // namespace

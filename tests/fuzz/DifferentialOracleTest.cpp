@@ -27,6 +27,21 @@ TEST(DifferentialOracleTest, ConfigNamesAreUniqueAndCoverBothSchemes) {
       Found |= N.find(Piece) != std::string::npos;
     EXPECT_TRUE(Found) << "no config mentions '" << Piece << "'";
   }
+  // The legacy-analyses configuration: the paper pipeline end to end under
+  // CHK dominators + dense liveness, differentially against the default
+  // near-linear analyses of every other config.
+  bool HasLegacy = false;
+  for (const std::string &N : Names)
+    HasLegacy |= N == "pruned+fold/fast-legacy-analyses";
+  EXPECT_TRUE(HasLegacy);
+}
+
+TEST(DifferentialOracleTest, RunsTheAnalysisCrosscheckPerFunction) {
+  // Beyond the config matrix, the oracle cross-validates the analyses
+  // directly (bit for bit) once per function; ConfigsRun counts it.
+  OracleResult R = runDifferentialOracle(testprogs::SumLoop);
+  ASSERT_TRUE(R.clean()) << R.InputError;
+  EXPECT_GE(R.ConfigsRun, static_cast<unsigned>(oracleConfigNames().size()) + 1);
 }
 
 TEST(DifferentialOracleTest, CleanOnCanonicalPrograms) {
@@ -121,6 +136,8 @@ TEST(DifferentialOracleTest, KindNamesAreStable) {
                "copy-regression");
   EXPECT_STREQ(divergenceKindName(DivergenceKind::AllocUnsound),
                "alloc-unsound");
+  EXPECT_STREQ(divergenceKindName(DivergenceKind::AnalysisMismatch),
+               "analysis-mismatch");
   EXPECT_STREQ(divergenceKindName(DivergenceKind::InternalError),
                "internal-error");
 }

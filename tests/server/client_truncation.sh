@@ -1,0 +1,88 @@
+#!/bin/sh
+# Protocol-error regression for fcc-client's response framing: a daemon (or
+# proxy) that dies mid-response leaves an unterminated final line on the
+# wire. The client used to report that as a plain "connection closed",
+# silently discarding the buffered half-response; it must instead fail with
+# a protocol error that says bytes were truncated. A fake server stands in
+# for the daemon: it reads the request, writes a half response with no
+# terminating newline, and closes.
+#
+#   client_truncation.sh FCC_CLIENT
+set -eu
+
+CLIENT=$1
+
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+SOCK=$TMP/fcc.sock
+IR=$TMP/unit.ir
+cat > "$IR" <<'EOF'
+func @one(%a) {
+entry:
+  ret %a
+}
+EOF
+
+python3 - "$SOCK" <<'EOF' &
+import socket, sys
+
+srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+srv.bind(sys.argv[1])
+srv.listen(1)
+conn, _ = srv.accept()
+buf = b""
+while b"\n" not in buf:
+    chunk = conn.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+# Half a response: valid prefix, no terminating newline, then close.
+conn.sendall(b'{"id":0,"status":"ok"')
+conn.close()
+srv.close()
+EOF
+PID=$!
+
+TRIES=0
+while [ ! -S "$SOCK" ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 100 ]; then
+    echo "FAIL: fake server did not create $SOCK" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+set +e
+OUT=$("$CLIENT" --socket="$SOCK" "$IR" 2>&1)
+RC=$?
+set -e
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "$OUT"
+if [ "$RC" -ne 2 ]; then
+  echo "FAIL: expected exit 2 (protocol error), got $RC" >&2
+  exit 1
+fi
+case "$OUT" in
+*"protocol error"*) : ;;
+*)
+  echo "FAIL: output does not report a protocol error" >&2
+  exit 1
+  ;;
+esac
+case "$OUT" in
+*unterminated*) : ;;
+*)
+  echo "FAIL: output does not mention the unterminated bytes" >&2
+  exit 1
+  ;;
+esac
+echo "PASS: truncated response surfaced as a protocol error"

@@ -9,6 +9,10 @@
 //   fcc-batch DIR|FILE... [options]
 //
 //   --pipeline=new|standard|briggs|briggs*  configuration (default new)
+//   --analysis=fast|legacy|dsu+sparse|chk+dense|dsu+dense|chk+sparse
+//                       analysis implementations backing the pipeline
+//                       (default fast = dsu+sparse); reports are
+//                       byte-identical across choices
 //   --jobs=N            worker threads (default 1; 0 = hardware)
 //   --generate=N[:SEED] append N generated routines (default seed 1)
 //   --seed=N            generation seed (alternative to --generate's :SEED;
@@ -75,6 +79,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
+      "       [--analysis=fast|legacy|dsu+sparse|chk+dense|dsu+dense|"
+      "chk+sparse]\n"
       "       [--jobs=N] [--generate=N[:SEED]] [--seed=N] [--json=PATH]\n"
       "       [--no-timings] [--cache[=BYTES]]\n"
       "       [--stats] [--trace=PATH] [--check] [--run ARG,...] [--strict]\n"
@@ -99,6 +105,12 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
         Opts.Service.Pipeline = PipelineKind::BriggsImproved;
       else {
         std::fprintf(stderr, "unknown pipeline '%s'\n", Name.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--analysis=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--analysis="));
+      if (!parseAnalysisStrategy(Name, Opts.Service.Analyses)) {
+        std::fprintf(stderr, "unknown analysis strategy '%s'\n", Name.c_str());
         return false;
       }
     } else if (Arg.rfind("--jobs=", 0) == 0) {

@@ -219,23 +219,36 @@ public:
     return true;
   }
 
-  bool recvLine(std::string &Line) {
+  /// What reading the next response line produced. The protocol frames
+  /// every response as one newline-terminated line, so bytes buffered at
+  /// EOF are a half-written response — a protocol error distinct from a
+  /// clean close, never silently discarded.
+  enum class RecvStatus {
+    Line,      ///< A complete line was read into the out-parameter.
+    Eof,       ///< Clean close: connection ended on a line boundary.
+    Truncated, ///< Close mid-line: unterminated bytes were buffered.
+  };
+
+  RecvStatus recvLine(std::string &Line) {
     while (true) {
       size_t NL = Buf.find('\n');
       if (NL != std::string::npos) {
         Line = Buf.substr(0, NL);
         Buf.erase(0, NL + 1);
-        return true;
+        return RecvStatus::Line;
       }
       char Chunk[1 << 16];
       ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
       if (N < 0 && errno == EINTR)
         continue;
       if (N <= 0)
-        return false;
+        return Buf.empty() ? RecvStatus::Eof : RecvStatus::Truncated;
       Buf.append(Chunk, static_cast<size_t>(N));
     }
   }
+
+  /// Bytes of an unterminated final line (valid after Truncated).
+  size_t truncatedBytes() const { return Buf.size(); }
 
 private:
   int Fd = -1;
@@ -300,7 +313,15 @@ int main(int Argc, char **Argv) {
     std::vector<unsigned> Retry;
     for (size_t R = 0; R != Round.size(); ++R) {
       std::string Line;
-      if (!Conn.recvLine(Line)) {
+      Connection::RecvStatus RS = Conn.recvLine(Line);
+      if (RS == Connection::RecvStatus::Truncated) {
+        std::fprintf(stderr,
+                     "fcc-client: protocol error: connection closed mid-"
+                     "response (%zu unterminated bytes buffered)\n",
+                     Conn.truncatedBytes());
+        return 2;
+      }
+      if (RS != Connection::RecvStatus::Line) {
         std::fprintf(stderr, "fcc-client: connection closed by daemon\n");
         return 2;
       }
@@ -357,7 +378,13 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     std::string Line; // The daemon acks, then drains and closes.
-    (void)Conn.recvLine(Line);
+    if (Conn.recvLine(Line) == Connection::RecvStatus::Truncated) {
+      std::fprintf(stderr,
+                   "fcc-client: protocol error: connection closed mid-"
+                   "response (%zu unterminated bytes buffered)\n",
+                   Conn.truncatedBytes());
+      return 2;
+    }
   }
 
   unsigned Ok = 0, Hit = 0;

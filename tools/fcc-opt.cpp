@@ -7,6 +7,10 @@
 //   fcc-opt FILE.ir [options]
 //
 //   --pipeline=new|standard|briggs|briggs*   conversion to run (default new)
+//   --analysis=fast|legacy|dsu+sparse|chk+dense|dsu+dense|chk+sparse
+//                     dominator / liveness implementations backing the
+//                     pipeline (default fast = dsu+sparse); output is
+//                     byte-identical across choices, only build time moves
 //   --ssa-only        stop in SSA form (pruned, copies folded) and print it
 //   --no-fold         build SSA without copy folding (with --ssa-only)
 //   --copyprop        run local copy propagation after the pipeline
@@ -56,6 +60,7 @@ namespace {
 struct DriverOptions {
   std::string InputPath;
   std::optional<PipelineKind> Pipeline = PipelineKind::New;
+  AnalysisStrategy Analyses;
   bool SsaOnly = false;
   bool NoFold = false;
   bool CopyProp = false;
@@ -72,6 +77,8 @@ struct DriverOptions {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s FILE.ir [--pipeline=new|standard|briggs|briggs*]\n"
+               "       [--analysis=fast|legacy|dsu+sparse|chk+dense|"
+               "dsu+dense|chk+sparse]\n"
                "       [--ssa-only] [--no-fold] [--copyprop] [--dce] "
                "[--strict] [--check] [--trace] [--trace=PATH] [--stats]\n"
                "       [--run ARGS...]\n",
@@ -112,6 +119,12 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
         Opts.Pipeline = PipelineKind::BriggsImproved;
       else {
         std::fprintf(stderr, "unknown pipeline '%s'\n", Name.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--analysis=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--analysis="));
+      if (!parseAnalysisStrategy(Name, Opts.Analyses)) {
+        std::fprintf(stderr, "unknown analysis strategy '%s'\n", Name.c_str());
         return false;
       }
     } else if (Arg == "--run") {
@@ -195,7 +208,7 @@ int main(int Argc, char **Argv) {
 
     if (Opts.SsaOnly) {
       splitCriticalEdges(F);
-      DominatorTree DT(F);
+      DominatorTree DT(F, Opts.Analyses.Dominators);
       SSABuildOptions Build;
       Build.FoldCopies = !Opts.NoFold;
       SSABuildStats Stats = buildSSA(F, DT, Build);
@@ -207,11 +220,11 @@ int main(int Argc, char **Argv) {
       // Expanded so the coalescer can narrate and the partition can be
       // audited before it rewrites anything.
       splitCriticalEdges(F);
-      DominatorTree DT(F);
+      DominatorTree DT(F, Opts.Analyses.Dominators);
       SSABuildOptions Build;
       Build.FoldCopies = true;
       buildSSA(F, DT, Build);
-      Liveness LV(F);
+      Liveness LV(F, Opts.Analyses.Liveness);
       FastCoalescerOptions Coalesce;
       if (Opts.Trace)
         Coalesce.Trace = stderr;
@@ -234,8 +247,11 @@ int main(int Argc, char **Argv) {
       Coalescer.rewrite();
     } else {
       Instr.Function = F.name();
-      PipelineResult Result =
-          runPipeline(F, *Opts.Pipeline, Observe ? &Instr : nullptr);
+      PipelineOptions Pipe;
+      Pipe.Kind = *Opts.Pipeline;
+      Pipe.Analyses = Opts.Analyses;
+      Pipe.Instr = Observe ? &Instr : nullptr;
+      PipelineResult Result = runPipeline(F, Pipe);
       if (Opts.Stats) {
         std::printf("; @%s (%s): %u us, %u phis, %u copies left, peak %zu "
                     "bytes\n",
