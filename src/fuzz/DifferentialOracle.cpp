@@ -17,6 +17,7 @@
 #include "ir/Verifier.h"
 #include "pipeline/Pipeline.h"
 #include "regalloc/GraphColoringAllocator.h"
+#include "regalloc/SpillRewriter.h"
 #include "ssa/SSABuilder.h"
 #include "ssa/StandardDestruction.h"
 #include "support/SplitMix64.h"
@@ -438,6 +439,37 @@ OracleResult fcc::runDifferentialOracle(const std::string &IrText,
         } catch (const std::exception &E) {
           Result.Divergences.push_back({DivergenceKind::InternalError,
                                         Config + "/regalloc", E.what()});
+        }
+
+        // Spill rewriting to convergence: the rewritten function must
+        // still verify, the final (complete) assignment must be
+        // interference-free against scratch liveness of the REWRITTEN
+        // code, and execution must match the reference bit for bit —
+        // spill slots live outside observable memory, so FinalMemory
+        // comparison stays valid.
+        ++Result.ConfigsRun;
+        std::string SpillConfig = Config + "/spill";
+        try {
+          SpillRewriteOptions SR;
+          SR.Machine = uniformMachine(Opts.Registers);
+          SpillRewriteResult R = insertSpillCode(F, SR);
+          if (!R.Alloc.Spilled.empty()) {
+            Result.Divergences.push_back(
+                {DivergenceKind::InternalError, SpillConfig,
+                 "insertSpillCode returned a non-empty spill set"});
+          } else if (!verifyFunction(F, Error)) {
+            Result.Divergences.push_back(
+                {DivergenceKind::VerifyFail, SpillConfig, Error});
+          } else if (!checkAllocation(F, R.Alloc, Error)) {
+            Result.Divergences.push_back(
+                {DivergenceKind::AllocUnsound, SpillConfig, Error});
+          } else {
+            compareExecutions(F, Vectors[FI], Reference[FI], Opts,
+                              SpillConfig, Result.Divergences);
+          }
+        } catch (const std::exception &E) {
+          Result.Divergences.push_back(
+              {DivergenceKind::InternalError, SpillConfig, E.what()});
         }
       }
     }

@@ -50,7 +50,12 @@ struct OracleOptions {
   unsigned ArgVectors = 3;
   /// Seed for the argument generator.
   uint64_t ArgSeed = 1;
-  /// Registers for the allocator cross-check; 0 skips the regalloc path.
+  /// Bank size for the allocator cross-checks on the checked fast
+  /// configuration: first a partial coloring validated against scratch
+  /// liveness ("/regalloc"), then spill rewriting to convergence with
+  /// verification, a soundness re-check of the complete assignment on the
+  /// rewritten code, and execution against the reference ("/spill").
+  /// 0 skips both paths; small values (2) force heavy spill traffic.
   unsigned Registers = 8;
 };
 

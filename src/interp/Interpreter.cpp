@@ -45,6 +45,18 @@ ExecutionResult Interpreter::run(const Function &F,
   ExecutionResult Result;
   std::vector<int64_t> Regs(F.numVariables(), 0);
   Result.FinalMemory.assign(MemoryWords, 0);
+  // Spill slots are separate from program memory: a Store can never clobber
+  // a live spilled value, and FinalMemory stays comparable across the
+  // pre-spill and post-spill versions of a function. Grown on demand;
+  // reading a never-written slot yields 0 (the rewriter never emits that).
+  std::vector<int64_t> SpillSlots;
+  auto SlotRef = [&](int64_t Slot) -> int64_t & {
+    assert(Slot >= 0 && "verifier guarantees non-negative spill slots");
+    size_t Index = static_cast<size_t>(Slot);
+    if (Index >= SpillSlots.size())
+      SpillSlots.resize(Index + 1, 0);
+    return SpillSlots[Index];
+  };
 
   for (unsigned I = 0, E = static_cast<unsigned>(F.params().size()); I != E;
        ++I)
@@ -153,6 +165,14 @@ ExecutionResult Interpreter::run(const Function &F,
         Result.ReturnValue = Eval(I->getOperand(0));
         Result.Completed = true;
         return Result;
+      case Opcode::Spill:
+        ++Result.SpillOpsExecuted;
+        SlotRef(I->getOperand(1).getImm()) = Eval(I->getOperand(0));
+        break;
+      case Opcode::Reload:
+        ++Result.SpillOpsExecuted;
+        Regs[I->getDef()->id()] = SlotRef(I->getOperand(0).getImm());
+        break;
       case Opcode::Phi:
       case Opcode::NumOpcodes:
         assert(false && "phi outside the phi list / invalid opcode");

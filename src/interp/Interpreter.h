@@ -35,7 +35,14 @@ struct ExecutionResult {
   uint64_t InstructionsExecuted = 0;
   /// Copy instructions executed (the paper's dynamic-copy metric).
   uint64_t CopiesExecuted = 0;
+  /// Spill + Reload instructions executed (the dynamic spill-op metric of
+  /// the register allocator's quality axis). Zero for code that never went
+  /// through spill rewriting.
+  uint64_t SpillOpsExecuted = 0;
   /// Memory contents at exit (observable state for equivalence checks).
+  /// Spill slots are deliberately NOT part of this: they live in separate
+  /// storage, so spill-rewritten code has the same observable memory as the
+  /// code it was derived from.
   std::vector<int64_t> FinalMemory;
 };
 

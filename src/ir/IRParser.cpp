@@ -442,6 +442,16 @@ bool Parser::parseStatement(Function &F, BasicBlock *B,
       return true;
     }
 
+    if (*Op == Opcode::Reload) {
+      if (!check(TokenKind::Integer)) {
+        fail("'reload' requires an integer slot literal");
+        return false;
+      }
+      std::vector<Operand> Ops = {Operand::imm(advance().Value)};
+      B->append(std::make_unique<Instruction>(*Op, Def, std::move(Ops)));
+      return true;
+    }
+
     int NumOps = opcodeNumOperands(*Op);
     assert(NumOps >= 0 && "phi handled above");
     std::vector<Operand> Ops;
@@ -531,6 +541,23 @@ bool Parser::parseStatement(Function &F, BasicBlock *B,
       return false;
     B->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
                                             std::vector<Operand>{Val}));
+    return true;
+  }
+  case Opcode::Spill: {
+    Operand Val;
+    if (!parseOperand(F, Val) || !expect(TokenKind::Comma, "','"))
+      return false;
+    if (!Val.isVar()) {
+      fail("'spill' value must be a variable");
+      return false;
+    }
+    if (!check(TokenKind::Integer)) {
+      fail("'spill' requires an integer slot literal");
+      return false;
+    }
+    Operand Slot = Operand::imm(advance().Value);
+    B->append(std::make_unique<Instruction>(
+        Opcode::Spill, nullptr, std::vector<Operand>{Val, Slot}));
     return true;
   }
   default:

@@ -63,6 +63,10 @@ const char *fcc::opcodeName(Opcode Op) {
     return "cbr";
   case Opcode::Ret:
     return "ret";
+  case Opcode::Spill:
+    return "spill";
+  case Opcode::Reload:
+    return "reload";
   case Opcode::NumOpcodes:
     break;
   }

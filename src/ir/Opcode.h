@@ -39,6 +39,17 @@ enum class Opcode {
   CondBr, ///< use0 != 0 ? successor 0 : successor 1
   Ret,    ///< return use0
 
+  // Spill machinery, inserted by the register allocator's spill rewriter
+  // (never by frontends or the generator). Spill slots live in storage
+  // separate from program memory so spill traffic can never alias a
+  // program's own Load/Store state — the differential oracle compares
+  // final memory, and spilled code must be observationally identical.
+  // These are appended after the terminators so that the numeric values
+  // of the pre-existing opcodes (and hence structural hashes of programs
+  // that do not use them) are unchanged.
+  Spill,  ///< spillslot[use1] = use0   (use1 must be an immediate)
+  Reload, ///< def = spillslot[use0]    (use0 must be an immediate)
+
   NumOpcodes
 };
 
@@ -53,6 +64,7 @@ constexpr int opcodeNumOperands(Opcode Op) {
   case Opcode::Load:
   case Opcode::CondBr:
   case Opcode::Ret:
+  case Opcode::Reload: // The single operand must be an immediate slot.
     return 1;
   case Opcode::Add:
   case Opcode::Sub:
@@ -66,6 +78,7 @@ constexpr int opcodeNumOperands(Opcode Op) {
   case Opcode::CmpGt:
   case Opcode::CmpGe:
   case Opcode::Store:
+  case Opcode::Spill: // use0 = value (variable), use1 = immediate slot.
     return 2;
   case Opcode::Phi:
     return -1;
@@ -82,6 +95,7 @@ constexpr bool opcodeHasDef(Opcode Op) {
   case Opcode::Br:
   case Opcode::CondBr:
   case Opcode::Ret:
+  case Opcode::Spill:
     return false;
   default:
     return true;

@@ -95,6 +95,17 @@ bool fcc::verifyFunction(const Function &F, std::string &Error) {
         return failVerify(Error, "'const' with a variable operand");
       if (I.isCopy() && !I.getOperand(0).isVar())
         return failVerify(Error, "'copy' with an immediate operand");
+      if (I.opcode() == Opcode::Reload &&
+          (!I.getOperand(0).isImm() || I.getOperand(0).getImm() < 0))
+        return failVerify(Error, "'reload' slot must be a non-negative "
+                                 "immediate");
+      if (I.opcode() == Opcode::Spill) {
+        if (!I.getOperand(0).isVar())
+          return failVerify(Error, "'spill' value must be a variable");
+        if (!I.getOperand(1).isImm() || I.getOperand(1).getImm() < 0)
+          return failVerify(Error, "'spill' slot must be a non-negative "
+                                   "immediate");
+      }
       return true;
     };
     for (const auto &I : B->phis())

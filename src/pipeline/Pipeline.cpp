@@ -10,6 +10,7 @@
 #include "coalesce/FastCoalescer.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "regalloc/SpillRewriter.h"
 #include "ssa/SSABuilder.h"
 #include "ssa/StandardDestruction.h"
 #include "support/Timer.h"
@@ -53,6 +54,28 @@ bool fcc::parseAnalysisStrategy(const std::string &Text,
   else
     return false;
   return true;
+}
+
+// The optional register-allocation stage: runs after the coalescing
+// pipeline (outside the paper's timing window) and only when a machine
+// model was requested. The rewriter converges or throws, so on return the
+// function's allocation is always complete.
+static void runRegallocStage(Function &F, const PipelineOptions &Opts,
+                             PipelineResult &Result,
+                             std::vector<PhaseSample> *Ph) {
+  if (!Opts.Machine)
+    return;
+  PhaseScope P(Opts.Instr, "regalloc", "regalloc", Ph);
+  SpillRewriteOptions SR;
+  SR.Machine = *Opts.Machine;
+  SpillRewriteResult R = insertSpillCode(F, SR);
+  Result.Allocated = true;
+  Result.RegistersUsed = R.Alloc.RegistersUsed;
+  Result.SpillStores = R.SpillStores;
+  Result.Reloads = R.Reloads;
+  Result.SpillSlots = R.SlotsUsed;
+  Result.RangesSplit = R.RangesSplit;
+  Result.RegallocIterations = R.Iterations;
 }
 
 PipelineResult fcc::runPipeline(Function &F, const PipelineOptions &Opts) {
@@ -170,6 +193,7 @@ PipelineResult fcc::runPipeline(Function &F, const PipelineOptions &Opts) {
   }
 
   Result.StaticCopies = F.staticCopyCount();
+  runRegallocStage(F, Opts, Result, Ph);
   return Result;
 }
 
@@ -236,6 +260,7 @@ bool fcc::runPipelineChecked(Function &F, const PipelineOptions &Opts,
   Result.PeakBytes =
       std::max(Ssa.PeakBytes, Co.PeakBytes + LV->bytes()) + DT->bytes();
   Result.StaticCopies = F.staticCopyCount();
+  runRegallocStage(F, Opts, Result, Ph);
   return true;
 }
 

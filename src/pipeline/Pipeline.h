@@ -46,6 +46,7 @@
 namespace fcc {
 
 class Function;
+struct MachineModel;
 
 /// Which configuration to run.
 enum class PipelineKind { Standard, New, Briggs, BriggsImproved };
@@ -102,8 +103,27 @@ struct PipelineResult {
   /// dominators, ssa-build, liveness, forest-walk/live-range-webs,
   /// briggs-coalesce, rewrite) sum to TimeMicros up to clock granularity.
   /// split-critical-edges runs before the paper's clock starts and is the
-  /// one sample outside the window.
+  /// one sample outside the window, as is "regalloc" (category "regalloc")
+  /// when a machine model requests allocation.
   std::vector<PhaseSample> Phases;
+
+  /// Register-allocation stage results, filled only when
+  /// PipelineOptions::Machine was set (Allocated == true). The stage runs
+  /// insertSpillCode to convergence, so the numbers always describe a
+  /// COMPLETE allocation: every variable of the rewritten function holds a
+  /// register and the spill set is empty.
+  bool Allocated = false;
+  /// Distinct registers used by the final assignment.
+  unsigned RegistersUsed = 0;
+  /// Static Spill / Reload instructions inserted by the rewriter.
+  unsigned SpillStores = 0;
+  unsigned Reloads = 0;
+  /// Distinct spill slots assigned.
+  unsigned SpillSlots = 0;
+  /// Victims handled by live-range splitting instead of spill-everywhere.
+  unsigned RangesSplit = 0;
+  /// Color/rewrite rounds until convergence (1 = no spilling needed).
+  unsigned RegallocIterations = 0;
 };
 
 /// Everything one pipeline invocation can be configured with.
@@ -115,6 +135,12 @@ struct PipelineOptions {
   /// events); null is the uninstrumented fast path with no extra clock
   /// reads.
   const Instrumentation *Instr = nullptr;
+  /// When non-null, a register-allocation stage runs after the coalescing
+  /// pipeline: the function is colored against this machine's banks with
+  /// spill code inserted until allocation succeeds (see SpillRewriter.h).
+  /// The stage runs outside the paper's timing window. Throws
+  /// std::runtime_error if an infeasible bank never converges.
+  const MachineModel *Machine = nullptr;
 };
 
 /// Runs one configuration over \p F in place. \p F must be a verified,

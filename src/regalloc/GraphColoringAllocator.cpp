@@ -9,6 +9,7 @@
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Variable.h"
+#include "regalloc/MachineModel.h"
 
 #include <algorithm>
 
@@ -17,14 +18,42 @@ using namespace fcc;
 RegAllocResult fcc::allocateRegisters(const Function &F,
                                       const RegAllocOptions &Opts) {
   assert(F.phiCount() == 0 && "allocate after SSA destruction");
-  unsigned K = Opts.NumRegisters;
-  assert(K > 0 && "need at least one register");
+  MachineModel Uniform;
+  const MachineModel *MM = Opts.Machine;
+  if (!MM) {
+    assert(Opts.NumRegisters > 0 && "need at least one register");
+    Uniform = uniformMachine(Opts.NumRegisters);
+    MM = &Uniform;
+  }
   unsigned N = F.numVariables();
+  unsigned NumClasses = static_cast<unsigned>(MM->Classes.size());
+
+  auto Flagged = [](const std::vector<bool> *Flags, unsigned Id) {
+    return Flags && Id < Flags->size() && (*Flags)[Id];
+  };
+
+  // The coloring universe: every variable except the stack-resident ones,
+  // which hold no register and must not contribute interference (notably
+  // not the calling convention's pairwise parameter edges).
+  std::vector<Variable *> Nodes;
+  Nodes.reserve(N);
+  for (const auto &V : F.variables())
+    if (!Flagged(Opts.StackResident, V->id()))
+      Nodes.push_back(V.get());
 
   Liveness LV(F);
   InterferenceGraph::BuildOptions BuildOpts;
   BuildOpts.BuildAdjacencyLists = true;
+  BuildOpts.Restrict = &Nodes;
   InterferenceGraph Graph(F, LV, BuildOpts);
+
+  RegAllocResult Result;
+  Result.ClassOf = classifyVariables(F, *MM);
+  std::vector<unsigned> ClassK(NumClasses), ClassBase(NumClasses);
+  for (unsigned C = 0; C != NumClasses; ++C) {
+    ClassK[C] = MM->Classes[C].NumRegisters;
+    ClassBase[C] = MM->classBase(C);
+  }
 
   // Spill costs: uses and defs weighted 10^depth, Chaitin's classic metric.
   DominatorTree DT(F);
@@ -41,35 +70,55 @@ RegAllocResult fcc::allocateRegisters(const Function &F,
     }
   }
 
-  // Simplify: peel nodes of degree < K; when stuck, push the cheapest
-  // (cost / degree) candidate optimistically.
+  // Only same-class neighbors compete for colors: classes own disjoint
+  // global index ranges, so a cross-class edge never constrains a color
+  // choice. Degrees below are therefore same-class degrees.
+  auto SameClassDegree = [&](const Variable *V) {
+    unsigned Deg = 0;
+    for (unsigned Neighbor : Graph.neighbors(V))
+      if (Result.ClassOf[Graph.nodeVariable(Neighbor)->id()] ==
+          Result.ClassOf[V->id()])
+        ++Deg;
+    return Deg;
+  };
+
+  // Simplify: peel nodes whose same-class degree is below their class's
+  // bank size; when stuck, push the cheapest (cost / degree) candidate
+  // optimistically.
   std::vector<unsigned> CurDegree(N, 0);
   std::vector<bool> OnStack(N, false);
-  for (const auto &V : F.variables())
-    CurDegree[V->id()] = Graph.degree(V.get());
+  for (const Variable *V : Nodes)
+    CurDegree[V->id()] = SameClassDegree(V);
 
   std::vector<const Variable *> Stack;
-  Stack.reserve(N);
-  unsigned RemainingNodes = N;
+  Stack.reserve(Nodes.size());
+  unsigned RemainingNodes = static_cast<unsigned>(Nodes.size());
   while (RemainingNodes != 0) {
     const Variable *Picked = nullptr;
     // Prefer any trivially colorable node (deterministic: lowest id).
-    for (const auto &V : F.variables())
-      if (!OnStack[V->id()] && CurDegree[V->id()] < K) {
-        Picked = V.get();
+    for (const Variable *V : Nodes)
+      if (!OnStack[V->id()] &&
+          CurDegree[V->id()] < ClassK[Result.ClassOf[V->id()]]) {
+        Picked = V;
         break;
       }
     if (!Picked) {
       // Blocked: choose the best spill candidate but push it anyway —
-      // Briggs's optimism defers the decision to select.
+      // Briggs's optimism defers the decision to select. Dissolved spill
+      // machinery (InfiniteCost) is only ever picked when nothing else
+      // remains: re-spilling it cannot reduce interference.
+      bool BestInfinite = true;
       double Best = 0.0;
-      for (const auto &V : F.variables()) {
+      for (const Variable *V : Nodes) {
         if (OnStack[V->id()])
           continue;
+        bool Infinite = Flagged(Opts.InfiniteCost, V->id());
         double Ratio = Cost[V->id()] / (CurDegree[V->id()] + 1.0);
-        if (!Picked || Ratio < Best) {
-          Picked = V.get();
+        if (!Picked || (BestInfinite && !Infinite) ||
+            (BestInfinite == Infinite && Ratio < Best)) {
+          Picked = V;
           Best = Ratio;
+          BestInfinite = Infinite;
         }
       }
     }
@@ -78,17 +127,16 @@ RegAllocResult fcc::allocateRegisters(const Function &F,
     --RemainingNodes;
     for (unsigned Neighbor : Graph.neighbors(Picked)) {
       unsigned Id = Graph.nodeVariable(Neighbor)->id();
-      if (!OnStack[Id] && CurDegree[Id] > 0)
+      if (!OnStack[Id] && CurDegree[Id] > 0 &&
+          Result.ClassOf[Id] == Result.ClassOf[Picked->id()])
         --CurDegree[Id];
     }
   }
 
-  // Select: pop and color against already-colored neighbors.
-  RegAllocResult Result;
+  // Select: pop and color against already-colored neighbors, inside the
+  // node's class range.
   Result.RegisterOf.assign(N, -1);
-  std::vector<bool> UsedColor(K, false);
-  unsigned MaxColor = 0;
-  bool AnyColored = false;
+  std::vector<bool> UsedColor(MM->totalRegisters(), false);
   while (!Stack.empty()) {
     const Variable *V = Stack.back();
     Stack.pop_back();
@@ -98,10 +146,11 @@ RegAllocResult fcc::allocateRegisters(const Function &F,
       if (Reg >= 0)
         UsedColor[static_cast<unsigned>(Reg)] = true;
     }
+    unsigned C = Result.ClassOf[V->id()];
     int Free = -1;
-    for (unsigned C = 0; C != K; ++C)
-      if (!UsedColor[C]) {
-        Free = static_cast<int>(C);
+    for (unsigned R = ClassBase[C], E = ClassBase[C] + ClassK[C]; R != E; ++R)
+      if (!UsedColor[R]) {
+        Free = static_cast<int>(R);
         break;
       }
     if (Free < 0) {
@@ -109,9 +158,15 @@ RegAllocResult fcc::allocateRegisters(const Function &F,
       continue;
     }
     Result.RegisterOf[V->id()] = Free;
-    MaxColor = std::max(MaxColor, static_cast<unsigned>(Free));
-    AnyColored = true;
   }
-  Result.RegistersUsed = AnyColored ? MaxColor + 1 : 0;
+
+  // Distinct registers in the (possibly partial) assignment — see the
+  // RegAllocResult contract in the header.
+  std::vector<bool> Seen(MM->totalRegisters(), false);
+  for (int Reg : Result.RegisterOf)
+    if (Reg >= 0 && !Seen[static_cast<unsigned>(Reg)]) {
+      Seen[static_cast<unsigned>(Reg)] = true;
+      ++Result.RegistersUsed;
+    }
   return Result;
 }

@@ -11,8 +11,15 @@
 /// The coloring is Briggs-style optimistic: simplify removes low-degree
 /// nodes first, blocked nodes are pushed anyway, and select either finds a
 /// free color or marks the node spilled (spill cost = uses weighted by loop
-/// depth; no spill-code rewrite — callers get the assignment and the spill
-/// set).
+/// depth). This pass does NOT rewrite spill code — it returns the partial
+/// assignment and the spill set; `insertSpillCode` (SpillRewriter.h) runs
+/// it to convergence with actual spill/reload insertion.
+///
+/// Allocation is machine-model aware: with a multi-class `MachineModel`,
+/// each variable is colored inside its class's global register-index range,
+/// so two classes never compete for the same registers (and the soundness
+/// check "simultaneously-live variables never share a register index"
+/// stays valid verbatim).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,26 +33,60 @@ namespace fcc {
 
 class Function;
 class Variable;
+struct MachineModel;
 
 /// Allocation parameters.
 struct RegAllocOptions {
+  /// Bank size when no machine model is supplied (a uniform single-class
+  /// machine of this many registers).
   unsigned NumRegisters = 8;
+  /// Optional machine model. When set, it takes precedence over
+  /// NumRegisters: variables are partitioned by `classifyVariables` and
+  /// each class colors only inside its own global index range.
+  const MachineModel *Machine = nullptr;
+  /// Variables the caller knows are dissolved spill machinery (reload and
+  /// store temporaries, fully-dissolved victims). They are colored
+  /// normally but never preferred as optimistic spill candidates:
+  /// re-spilling an already-minimal range cannot reduce interference, so
+  /// picking one over a long live range stalls the spill rewriter's
+  /// convergence (Chaitin's classic infinite-spilling trap). Indexed by
+  /// variable id; ids beyond the vector count as unmarked. May be null.
+  const std::vector<bool> *InfiniteCost = nullptr;
+  /// Parameters the spill rewriter has turned stack-passed: their only
+  /// remaining reference is the entry `spill` that models the caller's
+  /// argument store, so they occupy no register at any point. They are
+  /// excluded from the interference graph entirely (in particular from the
+  /// always-pairwise parameter interference of the calling convention) and
+  /// keep RegisterOf == -1 even in a complete allocation. Indexed by
+  /// variable id; may be null.
+  const std::vector<bool> *StackResident = nullptr;
 };
 
 /// Result of one allocation.
+///
+/// Contract: `RegisterOf` holds GLOBAL register indices (see
+/// MachineModel.h); `RegistersUsed` counts the distinct register indices
+/// appearing in `RegisterOf`. When `Spilled` is non-empty the assignment
+/// is PARTIAL — `RegistersUsed` then describes only the colored portion
+/// and is not a complete measure of the function's register demand. After
+/// `insertSpillCode` converges, `Spilled` is guaranteed empty and
+/// `RegistersUsed` is the real count (tested in SpillRewriterTest).
 struct RegAllocResult {
-  /// Register index per variable id, or -1 when spilled / unused.
+  /// Register index per variable id, or -1 when spilled, unused, or
+  /// stack-resident (RegAllocOptions::StackResident).
   std::vector<int> RegisterOf;
-  /// Variables that did not receive a register.
+  /// Register class per variable id (all zero on uniform machines).
+  std::vector<unsigned> ClassOf;
+  /// Variables that did not receive a register, in select order.
   std::vector<const Variable *> Spilled;
-  /// Number of distinct registers actually used.
+  /// Number of distinct registers actually used by the assignment.
   unsigned RegistersUsed = 0;
 };
 
-/// Colors \p F's variables with Opts.NumRegisters registers. \p F must be
-/// phi-free (run a destruction pipeline first). The assignment is
-/// guaranteed interference-free: two simultaneously-live variables never
-/// share a register.
+/// Colors \p F's variables against Opts' machine. \p F must be phi-free
+/// (run a destruction pipeline first). The assignment is guaranteed
+/// interference-free: two simultaneously-live variables never share a
+/// register index.
 RegAllocResult allocateRegisters(const Function &F,
                                  const RegAllocOptions &Opts);
 

@@ -1,0 +1,95 @@
+//===- regalloc/MachineModel.cpp ------------------------------------------===//
+
+#include "regalloc/MachineModel.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Variable.h"
+
+#include <cassert>
+
+using namespace fcc;
+
+unsigned MachineModel::totalRegisters() const {
+  unsigned Total = 0;
+  for (const RegisterClass &C : Classes)
+    Total += C.NumRegisters;
+  return Total;
+}
+
+unsigned MachineModel::classBase(unsigned C) const {
+  assert(C < Classes.size() && "class index out of range");
+  unsigned Base = 0;
+  for (unsigned I = 0; I != C; ++I)
+    Base += Classes[I].NumRegisters;
+  return Base;
+}
+
+unsigned MachineModel::classOfRegister(unsigned Reg) const {
+  unsigned Base = 0;
+  for (unsigned I = 0, E = static_cast<unsigned>(Classes.size()); I != E;
+       ++I) {
+    Base += Classes[I].NumRegisters;
+    if (Reg < Base)
+      return I;
+  }
+  assert(false && "register index beyond the machine's banks");
+  return 0;
+}
+
+MachineModel fcc::uniformMachine(unsigned K) {
+  assert(K >= 1 && "a machine needs at least one register");
+  MachineModel MM;
+  MM.Name = "uniform" + std::to_string(K);
+  MM.Classes.push_back(RegisterClass{"gpr", K});
+  return MM;
+}
+
+bool fcc::parseMachineModel(const std::string &Text, MachineModel &Out) {
+  if (Text == "dsp") {
+    Out.Name = "dsp";
+    Out.Classes = {RegisterClass{"gpr", 6}, RegisterClass{"addr", 2}};
+    return true;
+  }
+  if (Text == "embedded") {
+    Out.Name = "embedded";
+    Out.Classes = {RegisterClass{"gpr", 3}, RegisterClass{"addr", 1}};
+    return true;
+  }
+  const std::string Prefix = "uniform";
+  if (Text.size() <= Prefix.size() || Text.compare(0, Prefix.size(), Prefix))
+    return false;
+  unsigned K = 0;
+  for (size_t I = Prefix.size(); I != Text.size(); ++I) {
+    char C = Text[I];
+    if (C < '0' || C > '9')
+      return false;
+    if (K > 100000) // Reject absurd banks before overflow.
+      return false;
+    K = K * 10 + static_cast<unsigned>(C - '0');
+  }
+  if (K == 0 || Text[Prefix.size()] == '0') // No "uniform0"/"uniform08".
+    return false;
+  Out = uniformMachine(K);
+  return true;
+}
+
+std::vector<unsigned> fcc::classifyVariables(const Function &F,
+                                             const MachineModel &MM) {
+  std::vector<unsigned> ClassOf(F.numVariables(), 0);
+  if (MM.Classes.size() < 2)
+    return ClassOf;
+  unsigned AddrClass = 0;
+  for (unsigned I = 0, E = static_cast<unsigned>(MM.Classes.size()); I != E;
+       ++I)
+    if (MM.Classes[I].Name == "addr")
+      AddrClass = I;
+  if (AddrClass == 0)
+    return ClassOf; // No address class: everything is general.
+  for (const auto &B : F.blocks())
+    for (const auto &I : B->insts())
+      if (I->opcode() == Opcode::Load || I->opcode() == Opcode::Store)
+        if (I->getOperand(0).isVar())
+          ClassOf[I->getOperand(0).getVar()->id()] = AddrClass;
+  return ClassOf;
+}

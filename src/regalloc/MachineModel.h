@@ -1,0 +1,77 @@
+//===- regalloc/MachineModel.h - Target register-bank models ----*- C++ -*-===//
+///
+/// \file
+/// A minimal machine description for the register allocator: one or more
+/// register classes, each a bank of interchangeable registers. The model is
+/// the axis along which allocation quality is measured — the same coalesced
+/// code is colored against uniform banks of different sizes, or against a
+/// partitioned machine with dedicated address registers (the classic DSP
+/// shape that motivates register classes in LLVM's RegClass layout).
+///
+/// Classes occupy disjoint GLOBAL register-index ranges:
+/// class C owns [classBase(C), classBase(C) + Classes[C].NumRegisters).
+/// `RegAllocResult::RegisterOf` always holds global indices, so allocation
+/// soundness checks (two simultaneously-live variables never share a
+/// register) work unchanged whether the machine has one class or several.
+///
+/// Models are named, and the canonical name round-trips through
+/// `parseMachineModel`; configuration fingerprints (result cache, batch
+/// reports) absorb the name, which uniquely determines the model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_REGALLOC_MACHINEMODEL_H
+#define FCC_REGALLOC_MACHINEMODEL_H
+
+#include <string>
+#include <vector>
+
+namespace fcc {
+
+class Function;
+
+/// One bank of interchangeable registers.
+struct RegisterClass {
+  std::string Name;        ///< e.g. "gpr", "addr"
+  unsigned NumRegisters;   ///< bank size; always >= 1
+};
+
+/// A target description: named set of register classes.
+struct MachineModel {
+  /// Canonical spelling, accepted by parseMachineModel.
+  std::string Name;
+  /// At least one class. Class 0 is the general class; a class named
+  /// "addr", when present, receives every variable used as a memory
+  /// address (see classifyVariables).
+  std::vector<RegisterClass> Classes;
+
+  /// Sum of all bank sizes.
+  unsigned totalRegisters() const;
+  /// First global register index of class \p C.
+  unsigned classBase(unsigned C) const;
+  /// Index of the class that owns global register index \p Reg.
+  unsigned classOfRegister(unsigned Reg) const;
+};
+
+/// Uniform machine: a single "gpr" class of \p K registers, named
+/// "uniform<K>". K must be >= 1.
+MachineModel uniformMachine(unsigned K);
+
+/// Parses a machine-model name. Accepted spellings:
+///   "uniformN"  — one gpr bank of N registers (N >= 1, e.g. "uniform8")
+///   "dsp"       — 6 gpr + 2 addr (address-register DSP shape)
+///   "embedded"  — 3 gpr + 1 addr (tight two-class bank)
+/// Returns false (leaving \p Out untouched) on unknown spellings.
+bool parseMachineModel(const std::string &Text, MachineModel &Out);
+
+/// Deterministic class assignment for \p F's variables, indexed by
+/// variable id. With a single class, every variable lands in class 0.
+/// With an "addr" class present, a variable that appears as the address
+/// operand (operand 0) of any Load or Store is assigned to that class;
+/// everything else goes to class 0.
+std::vector<unsigned> classifyVariables(const Function &F,
+                                        const MachineModel &MM);
+
+} // namespace fcc
+
+#endif // FCC_REGALLOC_MACHINEMODEL_H

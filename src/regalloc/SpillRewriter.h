@@ -1,0 +1,87 @@
+//===- regalloc/SpillRewriter.h - Spill-code insertion ----------*- C++ -*-===//
+///
+/// \file
+/// Turns the graph-coloring allocator into a complete code-generation
+/// stage: when select() spills, this pass rewrites the function with
+/// actual Spill/Reload instructions, recomputes liveness on the rewritten
+/// code, and re-colors until allocation succeeds.
+///
+/// Two rewriting strategies compose per victim:
+///
+///  - Live-range splitting (tried first, once per variable): a victim that
+///    is live *through* a loop without any use or def inside it is stored
+///    to its slot on every loop-entry edge and reloaded on every exit edge
+///    where it is still live. The variable is then dead across the loop —
+///    the region that overflowed the bank — while its uses outside keep
+///    their register. Exit-edge reloads get dedicated edge blocks so a
+///    path that bypasses the loop can never observe a stale slot.
+///
+///  - Spill everywhere (the fallback, cf. "On the Complexity of Spill
+///    Everywhere under SSA Form"): every use is preceded by a reload into
+///    a fresh temporary and every def is followed by a store from a fresh
+///    temporary, so the victim's live range dissolves into tiny
+///    per-instruction ranges. Parameters are stored once at function entry.
+///
+/// Victim choice is the allocator's loop-depth-weighted spill metric
+/// (cost / degree, Chaitin's heuristic). Spill slots live in interpreter
+/// storage separate from program memory, so rewritten code is
+/// observationally identical to its input — the differential oracle
+/// executes both and compares return value, memory, and completion.
+///
+/// Convergence: with banks of >= 2 registers per class the fallback
+/// strictly shrinks maximal pressure, so iteration terminates; a
+/// MaxIterations guard throws std::runtime_error instead of looping when
+/// a bank is infeasible (e.g. one register against binary operations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_REGALLOC_SPILLREWRITER_H
+#define FCC_REGALLOC_SPILLREWRITER_H
+
+#include "regalloc/GraphColoringAllocator.h"
+#include "regalloc/MachineModel.h"
+
+namespace fcc {
+
+class Function;
+
+/// Parameters for insertSpillCode.
+struct SpillRewriteOptions {
+  /// Target machine; the default mirrors RegAllocOptions' 8-register bank.
+  MachineModel Machine = uniformMachine(8);
+  /// Try splitting a victim's live range around a loop it crosses without
+  /// references before falling back to spill-everywhere.
+  bool SplitLiveRanges = true;
+  /// Color/rewrite rounds before giving up with std::runtime_error.
+  unsigned MaxIterations = 16;
+};
+
+/// Outcome of a converged spill rewrite.
+struct SpillRewriteResult {
+  /// The final allocation of the rewritten function. Invariant: its
+  /// `Spilled` set is EMPTY — insertSpillCode only returns once coloring
+  /// succeeds completely (it throws on non-convergence).
+  RegAllocResult Alloc;
+  /// Color/rewrite rounds executed (1 = colored with no rewriting).
+  unsigned Iterations = 0;
+  /// Static Spill instructions inserted.
+  unsigned SpillStores = 0;
+  /// Static Reload instructions inserted.
+  unsigned Reloads = 0;
+  /// Victims handled by live-range splitting rather than spill-everywhere.
+  unsigned RangesSplit = 0;
+  /// Distinct spill slots assigned.
+  unsigned SlotsUsed = 0;
+};
+
+/// Rewrites \p F in place until it colors with Opts.Machine's banks.
+/// \p F must be phi-free (run a destruction pipeline first). Throws
+/// std::runtime_error when Opts.MaxIterations rounds do not converge —
+/// \p F is left in a rewritten-but-unallocated (still semantically
+/// equivalent) state in that case.
+SpillRewriteResult insertSpillCode(Function &F,
+                                   const SpillRewriteOptions &Opts);
+
+} // namespace fcc
+
+#endif // FCC_REGALLOC_SPILLREWRITER_H

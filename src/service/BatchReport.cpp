@@ -46,6 +46,16 @@ BatchTotals BatchReport::totals() const {
       T.PhisInserted += F.Compile.PhisInserted;
       T.MaxPeakBytes = std::max(T.MaxPeakBytes, F.Compile.PeakBytes);
       T.CompileMicros += F.Compile.TimeMicros;
+      if (F.Compile.Allocated) {
+        T.Allocated = true;
+        T.SpillStores += F.Compile.SpillStores;
+        T.Reloads += F.Compile.Reloads;
+        T.RangesSplit += F.Compile.RangesSplit;
+        T.MaxRegistersUsed =
+            std::max(T.MaxRegistersUsed, F.Compile.RegistersUsed);
+        if (F.Executed)
+          T.DynamicSpillOps += F.Exec.SpillOpsExecuted;
+      }
     }
   }
   return T;
@@ -117,6 +127,22 @@ void appendFunction(std::string &Out, const FunctionRecord &F,
   appendNum(Out, "copies_left", F.Compile.StaticCopies);
   Out += ',';
   appendNum(Out, "peak_bytes", F.Compile.PeakBytes);
+  if (F.Compile.Allocated) {
+    // Allocation columns exist only for machine-targeted runs, so reports
+    // without --machine keep their pre-allocator byte layout.
+    Out += ',';
+    appendNum(Out, "registers_used", F.Compile.RegistersUsed);
+    Out += ',';
+    appendNum(Out, "spill_stores", F.Compile.SpillStores);
+    Out += ',';
+    appendNum(Out, "reloads", F.Compile.Reloads);
+    Out += ',';
+    appendNum(Out, "spill_slots", F.Compile.SpillSlots);
+    Out += ',';
+    appendNum(Out, "ranges_split", F.Compile.RangesSplit);
+    Out += ',';
+    appendNum(Out, "regalloc_iterations", F.Compile.RegallocIterations);
+  }
   if (IncludeTimings) {
     Out += ',';
     appendNum(Out, "time_us", F.Compile.TimeMicros);
@@ -150,6 +176,10 @@ void appendFunction(std::string &Out, const FunctionRecord &F,
     appendNum(Out, "instructions", F.Exec.InstructionsExecuted);
     Out += ',';
     appendNum(Out, "copies", F.Exec.CopiesExecuted);
+    if (F.Compile.Allocated) {
+      Out += ',';
+      appendNum(Out, "spill_ops", F.Exec.SpillOpsExecuted);
+    }
     Out += '}';
   }
   Out += '}';
@@ -225,6 +255,18 @@ std::string BatchReport::toJson(bool IncludeTimings) const {
   appendNum(Out, "phis", T.PhisInserted);
   Out += ',';
   appendNum(Out, "max_peak_bytes", T.MaxPeakBytes);
+  if (T.Allocated) {
+    Out += ',';
+    appendNum(Out, "spill_stores", T.SpillStores);
+    Out += ',';
+    appendNum(Out, "reloads", T.Reloads);
+    Out += ',';
+    appendNum(Out, "ranges_split", T.RangesSplit);
+    Out += ',';
+    appendNum(Out, "max_registers_used", T.MaxRegistersUsed);
+    Out += ',';
+    appendNum(Out, "dynamic_spill_ops", T.DynamicSpillOps);
+  }
   if (IncludeTimings) {
     Out += ',';
     appendNum(Out, "compile_us", T.CompileMicros);
@@ -295,5 +337,13 @@ std::string BatchReport::summary() const {
                 static_cast<unsigned long long>(T.CompileMicros),
                 static_cast<unsigned long long>(WallMicros));
   Out += Buf;
+  if (T.Allocated) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "spills %u stores + %u reloads (%u ranges split), "
+                  "max %u registers, %llu dynamic spill ops\n",
+                  T.SpillStores, T.Reloads, T.RangesSplit, T.MaxRegistersUsed,
+                  static_cast<unsigned long long>(T.DynamicSpillOps));
+    Out += Buf;
+  }
   return Out;
 }

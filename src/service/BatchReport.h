@@ -94,6 +94,16 @@ struct BatchTotals {
   unsigned PhisInserted = 0;
   size_t MaxPeakBytes = 0;
   uint64_t CompileMicros = 0; ///< Sum of per-function pipeline times.
+  /// True when any function went through the register-allocation stage;
+  /// the spill aggregates below (and their JSON keys) exist only then, so
+  /// machine-less reports keep their pre-allocator byte layout.
+  bool Allocated = false;
+  unsigned SpillStores = 0;
+  unsigned Reloads = 0;
+  unsigned RangesSplit = 0;
+  unsigned MaxRegistersUsed = 0;
+  /// Sum of executed Spill/Reload instructions across executed functions.
+  uint64_t DynamicSpillOps = 0;
 };
 
 /// Everything the service produced for one batch.

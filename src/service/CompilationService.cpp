@@ -65,6 +65,12 @@ uint64_t configFingerprint(const ServiceOptions &O) {
   H.absorb(static_cast<uint64_t>(O.Pipeline));
   H.absorb(static_cast<uint64_t>(O.Analyses.Dominators) << 8 |
            static_cast<uint64_t>(O.Analyses.Liveness));
+  // The canonical machine name determines the model (classes and bank
+  // sizes) uniquely, and the model changes both the rewritten text and the
+  // report's allocation columns.
+  H.absorb(O.Machine ? 1 : 0);
+  if (O.Machine)
+    H.absorbBytes(O.Machine->Name);
   uint64_t Flags = 0;
   Flags |= O.CheckPartition ? 1u : 0u;
   Flags |= O.VerifyOutput ? 2u : 0u;
@@ -328,6 +334,7 @@ UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
     PipeOpts.Kind = Opts.Pipeline;
     PipeOpts.Analyses = Opts.Analyses;
     PipeOpts.Instr = InstrPtr;
+    PipeOpts.Machine = Opts.Machine ? &*Opts.Machine : nullptr;
     if (Opts.CheckPartition && Opts.Pipeline == PipelineKind::New) {
       if (!runPipelineChecked(F, PipeOpts, Record.Compile, Error))
         return Fail(UnitStatus::CheckFailed, "@" + F.name() + ": " + Error);

@@ -29,10 +29,12 @@
 #ifndef FCC_SERVICE_COMPILATIONSERVICE_H
 #define FCC_SERVICE_COMPILATIONSERVICE_H
 
+#include "regalloc/MachineModel.h"
 #include "service/BatchReport.h"
 #include "service/WorkUnit.h"
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace fcc {
@@ -49,6 +51,12 @@ struct ServiceOptions {
   /// key anyway — fingerprinting every knob is cheaper than proving each
   /// new one can never change report bytes.
   AnalysisStrategy Analyses;
+  /// When set, a register-allocation stage follows the pipeline: each
+  /// function is colored against this machine's banks with spill code
+  /// inserted until allocation succeeds (PipelineOptions::Machine). The
+  /// canonical model name is folded into the cache fingerprint, so one
+  /// cache can serve services targeting different machines.
+  std::optional<MachineModel> Machine;
   /// Worker threads; 0 means hardware concurrency, 1 runs inline.
   unsigned Jobs = 1;
   /// Validate every New-pipeline partition with CoalescingChecker before

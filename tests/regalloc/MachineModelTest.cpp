@@ -1,0 +1,88 @@
+//===- tests/regalloc/MachineModelTest.cpp --------------------------------===//
+
+#include "regalloc/MachineModel.h"
+
+#include "../common/TestPrograms.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Variable.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+TEST(MachineModelTest, UniformMachineShape) {
+  MachineModel MM = uniformMachine(8);
+  EXPECT_EQ(MM.Name, "uniform8");
+  ASSERT_EQ(MM.Classes.size(), 1u);
+  EXPECT_EQ(MM.Classes[0].Name, "gpr");
+  EXPECT_EQ(MM.Classes[0].NumRegisters, 8u);
+  EXPECT_EQ(MM.totalRegisters(), 8u);
+  EXPECT_EQ(MM.classBase(0), 0u);
+}
+
+TEST(MachineModelTest, CanonicalNamesRoundTrip) {
+  for (const char *Name : {"uniform1", "uniform2", "uniform8", "uniform64",
+                           "dsp", "embedded"}) {
+    MachineModel MM;
+    ASSERT_TRUE(parseMachineModel(Name, MM)) << Name;
+    EXPECT_EQ(MM.Name, Name);
+    MachineModel Again;
+    ASSERT_TRUE(parseMachineModel(MM.Name, Again)) << Name;
+    EXPECT_EQ(Again.Classes.size(), MM.Classes.size());
+    EXPECT_EQ(Again.totalRegisters(), MM.totalRegisters());
+  }
+}
+
+TEST(MachineModelTest, BadNamesAreRejectedAndLeaveOutputUntouched) {
+  for (const char *Name : {"", "uniform", "uniform0", "uniformx", "uniform8x",
+                           "UNIFORM8", "dsp2", "vliw", " uniform8"}) {
+    MachineModel MM = uniformMachine(3);
+    EXPECT_FALSE(parseMachineModel(Name, MM)) << "accepted '" << Name << "'";
+    EXPECT_EQ(MM.Name, "uniform3") << "clobbered on '" << Name << "'";
+  }
+}
+
+TEST(MachineModelTest, DspOwnsDisjointGlobalRanges) {
+  MachineModel MM;
+  ASSERT_TRUE(parseMachineModel("dsp", MM));
+  ASSERT_EQ(MM.Classes.size(), 2u);
+  EXPECT_EQ(MM.Classes[0].Name, "gpr");
+  EXPECT_EQ(MM.Classes[0].NumRegisters, 6u);
+  EXPECT_EQ(MM.Classes[1].Name, "addr");
+  EXPECT_EQ(MM.Classes[1].NumRegisters, 2u);
+  EXPECT_EQ(MM.totalRegisters(), 8u);
+  EXPECT_EQ(MM.classBase(0), 0u);
+  EXPECT_EQ(MM.classBase(1), 6u);
+  for (unsigned R = 0; R != 6; ++R)
+    EXPECT_EQ(MM.classOfRegister(R), 0u) << "r" << R;
+  for (unsigned R = 6; R != 8; ++R)
+    EXPECT_EQ(MM.classOfRegister(R), 1u) << "r" << R;
+}
+
+TEST(MachineModelTest, ClassifyPutsAddressOperandsInAddrClass) {
+  auto M = parseSingleFunctionOrDie(testprogs::ArraySum);
+  const Function &F = *M->functions()[0];
+  MachineModel MM;
+  ASSERT_TRUE(parseMachineModel("dsp", MM));
+  std::vector<unsigned> ClassOf = classifyVariables(F, MM);
+  ASSERT_EQ(ClassOf.size(), F.numVariables());
+
+  // %i addresses the store, %j addresses the load; the accumulators never
+  // appear in an address position.
+  EXPECT_EQ(ClassOf[F.findVariable("i")->id()], 1u);
+  EXPECT_EQ(ClassOf[F.findVariable("j")->id()], 1u);
+  EXPECT_EQ(ClassOf[F.findVariable("acc")->id()], 0u);
+  EXPECT_EQ(ClassOf[F.findVariable("n")->id()], 0u);
+}
+
+TEST(MachineModelTest, SingleClassMachineClassifiesEverythingAsClassZero) {
+  auto M = parseSingleFunctionOrDie(testprogs::ArraySum);
+  const Function &F = *M->functions()[0];
+  std::vector<unsigned> ClassOf = classifyVariables(F, uniformMachine(4));
+  for (unsigned C : ClassOf)
+    EXPECT_EQ(C, 0u);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/service/MachineServiceTest.cpp -------------------------------===//
+//
+// The register-allocation stage through the service layer: a configured
+// machine model is part of the cache fingerprint (services targeting
+// different machines never share artifacts), allocated reports stay
+// byte-identical across job counts, and the spill aggregates appear only
+// when a machine was actually configured.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ResultCache.h"
+#include "service/CompilationService.h"
+
+#include "service/BatchReport.h"
+#include "service/WorkUnit.h"
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+const char *LoopSum = R"(
+func @loopsum(%n) {
+entry:
+  %i = const 0
+  %acc = const 0
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %t = mul %i, %i
+  %acc = add %acc, %t
+  %i = add %i, 1
+  br head
+exit:
+  ret %acc
+}
+)";
+
+uint64_t counter(const BatchReport &R, const std::string &Name) {
+  for (const CounterSnapshot &C : R.Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+ServiceOptions machineOptions(const char *Machine, ResultCache *Cache) {
+  ServiceOptions Opts;
+  Opts.CollectStats = true;
+  Opts.Cache = Cache;
+  if (Machine) {
+    MachineModel MM;
+    EXPECT_TRUE(parseMachineModel(Machine, MM));
+    Opts.Machine = MM;
+  }
+  return Opts;
+}
+
+TEST(MachineServiceTest, MachineModelsDoNotShareCacheResults) {
+  // One cache, three targets: allocation changes the report, so the model
+  // name must key the artifacts apart — including "no machine at all".
+  ResultCache Cache;
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", LoopSum));
+
+  for (const char *Machine : {(const char *)nullptr, "uniform4", "uniform2"}) {
+    BatchReport R =
+        CompilationService(machineOptions(Machine, &Cache)).run(Units);
+    EXPECT_EQ(counter(R, "cache.misses"), 1u)
+        << (Machine ? Machine : "<none>") << " hit a foreign artifact";
+    EXPECT_EQ(counter(R, "cache.hits"), 0u);
+  }
+
+  // Same machine again: now it hits.
+  BatchReport R =
+      CompilationService(machineOptions("uniform2", &Cache)).run(Units);
+  EXPECT_EQ(counter(R, "cache.hits"), 1u);
+}
+
+TEST(MachineServiceTest, AllocatedReportsAreIdenticalAcrossJobCounts) {
+  std::vector<WorkUnit> Units;
+  for (unsigned I = 0; I != 6; ++I)
+    Units.push_back(WorkUnit::fromSource("u" + std::to_string(I), LoopSum));
+
+  ServiceOptions O1 = machineOptions("uniform2", nullptr);
+  O1.Execute = true;
+  O1.ExecArgs = {9};
+  ServiceOptions O4 = O1;
+  O1.Jobs = 1;
+  O4.Jobs = 4;
+  BatchReport R1 = CompilationService(O1).run(Units);
+  BatchReport R4 = CompilationService(O4).run(Units);
+  EXPECT_EQ(R1.toJson(false), R4.toJson(false));
+
+  // Two registers against four loop-resident values: spill traffic must
+  // exist, and the executed spill ops must aggregate into the totals.
+  BatchTotals T = R1.totals();
+  ASSERT_TRUE(T.Allocated);
+  EXPECT_GT(T.SpillStores, 0u);
+  EXPECT_GT(T.Reloads, 0u);
+  EXPECT_LE(T.MaxRegistersUsed, 2u);
+  EXPECT_GT(T.DynamicSpillOps, 0u);
+}
+
+TEST(MachineServiceTest, MachinelessReportsCarryNoAllocationAggregates) {
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", LoopSum));
+  BatchReport R = CompilationService(ServiceOptions()).run(Units);
+  BatchTotals T = R.totals();
+  EXPECT_FALSE(T.Allocated);
+  EXPECT_EQ(R.toJson(false).find("spill_stores"), std::string::npos)
+      << "machine-less reports must keep the pre-allocator byte layout";
+}
+
+} // namespace

@@ -13,6 +13,10 @@
 //                       analysis implementations backing the pipeline
 //                       (default fast = dsu+sparse); reports are
 //                       byte-identical across choices
+//   --machine=uniformN|dsp|embedded
+//                       run the register allocator after the pipeline on
+//                       every unit; reports gain per-function and total
+//                       spill columns (spill_stores, reloads, ...)
 //   --jobs=N            worker threads (default 1; 0 = hardware)
 //   --generate=N[:SEED] append N generated routines (default seed 1)
 //   --seed=N            generation seed (alternative to --generate's :SEED;
@@ -81,6 +85,7 @@ int usage(const char *Argv0) {
       "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
       "       [--analysis=fast|legacy|dsu+sparse|chk+dense|dsu+dense|"
       "chk+sparse]\n"
+      "       [--machine=uniformN|dsp|embedded]\n"
       "       [--jobs=N] [--generate=N[:SEED]] [--seed=N] [--json=PATH]\n"
       "       [--no-timings] [--cache[=BYTES]]\n"
       "       [--stats] [--trace=PATH] [--check] [--run ARG,...] [--strict]\n"
@@ -113,6 +118,14 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
         std::fprintf(stderr, "unknown analysis strategy '%s'\n", Name.c_str());
         return false;
       }
+    } else if (Arg.rfind("--machine=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--machine="));
+      MachineModel MM;
+      if (!parseMachineModel(Name, MM)) {
+        std::fprintf(stderr, "unknown machine model '%s'\n", Name.c_str());
+        return false;
+      }
+      Opts.Service.Machine = std::move(MM);
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       // parseUint64Arg rejects a sign outright, so --jobs=-1 can never wrap
       // into a huge thread count; the explicit range check keeps the later

@@ -18,6 +18,11 @@
 //   --out=PATH     write the JSON report to PATH ('-' for stdout, default)
 //   --warmup=N     override the suite's warmup iterations
 //   --repeats=N    override the suite's timed repetitions
+//   --quality      measure code quality instead of speed: run every
+//                  pipeline x machine configuration over the suite's
+//                  routines, allocate registers with spill rewriting,
+//                  execute the result, and report the deterministic
+//                  quality counters (schema fcc-quality/1 below)
 //   --list         print the suite's benchmark names and exit
 //
 // Schema (fcc-bench/1): ns_median and ns_mad are the run-to-run unstable
@@ -30,7 +35,20 @@
 //    "benchmarks": [{"name", "workload", "reps", "ns_median", "ns_mad",
 //                    "peak_bytes"[, "instructions_retired"]}, ...]}
 //
-// Exit status: 0 ok, 2 usage/setup error.
+// Schema (fcc-quality/1): every field is a pure function of the corpus —
+// no timings — so the CI quality gate compares rows exactly by default.
+// "diverged" counts routines whose post-allocation execution differed from
+// the unoptimized reference (must be 0); "alloc_failures" counts routines
+// the spill rewriter could not converge on (must be 0).
+//
+//   {"schema": "fcc-quality/1", "suite": S, "routines": N,
+//    "rows": [{"name", "pipeline", "machine", "functions",
+//              "static_copies", "spill_stores", "reloads", "spill_slots",
+//              "ranges_split", "max_registers_used", "dynamic_copies",
+//              "dynamic_spill_ops", "diverged", "alloc_failures"}, ...]}
+//
+// Exit status: 0 ok (quality mode: and no divergence/allocation failure),
+// 2 usage/setup error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,10 +58,12 @@
 #include "baseline/InterferenceGraph.h"
 #include "coalesce/DominanceForest.h"
 #include "coalesce/FastCoalescer.h"
+#include "interp/Interpreter.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
 #include "pipeline/Pipeline.h"
+#include "regalloc/SpillRewriter.h"
 #include "server/ResultCache.h"
 #include "service/CompilationService.h"
 #include "service/WorkUnit.h"
@@ -294,6 +314,136 @@ std::vector<Benchmark> buildSuite(const SuiteParams &P,
   return Benches;
 }
 
+/// One pipeline x machine configuration's quality aggregate over the
+/// suite (schema fcc-quality/1). Every field is deterministic.
+struct QualityRow {
+  std::string Name;     ///< "quality/<pipeline>/<machine>"
+  std::string Pipeline; ///< pipelineName()
+  std::string Machine;  ///< canonical MachineModel name
+  unsigned Functions = 0;
+  uint64_t StaticCopies = 0;
+  uint64_t SpillStores = 0;
+  uint64_t Reloads = 0;
+  uint64_t SpillSlots = 0;
+  uint64_t RangesSplit = 0;
+  uint64_t MaxRegistersUsed = 0;
+  uint64_t DynamicCopies = 0;
+  uint64_t DynamicSpillOps = 0;
+  /// Routines whose post-allocation execution differed from the
+  /// unoptimized reference (return value or completion). Must be 0.
+  unsigned Diverged = 0;
+  /// Routines the spill rewriter failed to converge on. Must be 0.
+  unsigned AllocFailures = 0;
+};
+
+/// Runs every pipeline x machine configuration over \p Specs and fills one
+/// QualityRow per configuration. The reference execution (unoptimized
+/// materialization on the routine's fixed Table 4 arguments) is computed
+/// once per routine and compared against every configuration's output.
+std::vector<QualityRow> runQualitySuite(const std::vector<RoutineSpec> &Specs) {
+  const PipelineKind Kinds[] = {PipelineKind::New, PipelineKind::Standard,
+                                PipelineKind::BriggsImproved};
+  const char *Machines[] = {"uniform2", "uniform4", "uniform8", "dsp"};
+
+  // Reference behavior, once per routine x function.
+  struct RefExec {
+    bool Completed;
+    int64_t ReturnValue;
+  };
+  std::vector<std::vector<RefExec>> Refs(Specs.size());
+  Interpreter Interp;
+  for (size_t S = 0; S != Specs.size(); ++S) {
+    auto M = Specs[S].materialize();
+    for (auto &F : M->functions()) {
+      ExecutionResult R = Interp.run(*F, Specs[S].Args);
+      Refs[S].push_back({R.Completed, R.ReturnValue});
+    }
+  }
+
+  std::vector<QualityRow> Rows;
+  for (PipelineKind Kind : Kinds) {
+    for (const char *MachineName : Machines) {
+      MachineModel MM;
+      if (!parseMachineModel(MachineName, MM))
+        continue; // Unreachable: the names above are all canonical.
+      QualityRow Row;
+      Row.Pipeline = pipelineName(Kind);
+      Row.Machine = MM.Name;
+      Row.Name = "quality/" + Row.Pipeline + "/" + Row.Machine;
+
+      for (size_t S = 0; S != Specs.size(); ++S) {
+        auto M = Specs[S].materialize();
+        bool RoutineDiverged = false, RoutineFailed = false;
+        size_t FnIndex = 0;
+        for (auto &F : M->functions()) {
+          PipelineOptions Pipe;
+          Pipe.Kind = Kind;
+          Pipe.Machine = &MM;
+          PipelineResult R;
+          try {
+            R = runPipeline(*F, Pipe);
+          } catch (const std::exception &) {
+            RoutineFailed = true;
+            ++FnIndex;
+            continue;
+          }
+          ++Row.Functions;
+          Row.StaticCopies += R.StaticCopies;
+          Row.SpillStores += R.SpillStores;
+          Row.Reloads += R.Reloads;
+          Row.SpillSlots += R.SpillSlots;
+          Row.RangesSplit += R.RangesSplit;
+          Row.MaxRegistersUsed =
+              std::max<uint64_t>(Row.MaxRegistersUsed, R.RegistersUsed);
+
+          ExecutionResult E = Interp.run(*F, Specs[S].Args);
+          Row.DynamicCopies += E.CopiesExecuted;
+          Row.DynamicSpillOps += E.SpillOpsExecuted;
+          const RefExec &Ref = Refs[S][FnIndex++];
+          if (E.Completed != Ref.Completed ||
+              (E.Completed && E.ReturnValue != Ref.ReturnValue))
+            RoutineDiverged = true;
+        }
+        Row.Diverged += RoutineDiverged;
+        Row.AllocFailures += RoutineFailed;
+      }
+      Rows.push_back(std::move(Row));
+    }
+  }
+  return Rows;
+}
+
+void writeQualityJson(std::FILE *Out, const std::string &Suite,
+                      unsigned Routines,
+                      const std::vector<QualityRow> &Rows) {
+  std::fprintf(Out,
+               "{\"schema\":\"fcc-quality/1\",\"suite\":\"%s\","
+               "\"routines\":%u,\"rows\":[",
+               Suite.c_str(), Routines);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const QualityRow &R = Rows[I];
+    std::fprintf(
+        Out,
+        "%s\n  {\"name\":\"%s\",\"pipeline\":\"%s\",\"machine\":\"%s\","
+        "\"functions\":%u,"
+        "\"static_copies\":%llu,\"spill_stores\":%llu,\"reloads\":%llu,"
+        "\"spill_slots\":%llu,\"ranges_split\":%llu,"
+        "\"max_registers_used\":%llu,\"dynamic_copies\":%llu,"
+        "\"dynamic_spill_ops\":%llu,\"diverged\":%u,\"alloc_failures\":%u}",
+        I ? "," : "", R.Name.c_str(), R.Pipeline.c_str(), R.Machine.c_str(),
+        R.Functions, static_cast<unsigned long long>(R.StaticCopies),
+        static_cast<unsigned long long>(R.SpillStores),
+        static_cast<unsigned long long>(R.Reloads),
+        static_cast<unsigned long long>(R.SpillSlots),
+        static_cast<unsigned long long>(R.RangesSplit),
+        static_cast<unsigned long long>(R.MaxRegistersUsed),
+        static_cast<unsigned long long>(R.DynamicCopies),
+        static_cast<unsigned long long>(R.DynamicSpillOps), R.Diverged,
+        R.AllocFailures);
+  }
+  std::fprintf(Out, "\n]}\n");
+}
+
 struct BenchRecord {
   std::string Name;
   std::string Workload;
@@ -361,7 +511,8 @@ void writeJson(std::FILE *Out, const std::string &Suite, unsigned Warmup,
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --suite=ci|smoke [--analysis=fast|legacy|...]\n"
-               "       [--out=PATH] [--warmup=N] [--repeats=N] [--list]\n",
+               "       [--out=PATH] [--warmup=N] [--repeats=N] [--quality] "
+               "[--list]\n",
                Argv0);
   return 2;
 }
@@ -372,6 +523,7 @@ int main(int Argc, char **Argv) {
   std::string Suite, OutPath = "-";
   int64_t WarmupOverride = -1, RepeatsOverride = -1;
   bool ListOnly = false;
+  bool Quality = false;
   AnalysisStrategy Analyses;
 
   for (int I = 1; I < Argc; ++I) {
@@ -403,6 +555,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       RepeatsOverride = static_cast<int64_t>(V);
+    } else if (Arg == "--quality") {
+      Quality = true;
     } else if (Arg == "--list") {
       ListOnly = true;
     } else {
@@ -427,6 +581,39 @@ int main(int Argc, char **Argv) {
     Params.Warmup = static_cast<unsigned>(WarmupOverride);
   if (RepeatsOverride > 0)
     Params.Repeats = static_cast<unsigned>(RepeatsOverride);
+
+  if (Quality) {
+    if (ListOnly) {
+      std::fprintf(stderr, "fcc-bench: --quality does not support --list\n");
+      return 2;
+    }
+    std::vector<RoutineSpec> Specs = paperSuite(Params.PaperRoutines);
+    std::vector<QualityRow> Rows = runQualitySuite(Specs);
+
+    std::FILE *Out = stdout;
+    if (OutPath != "-") {
+      Out = std::fopen(OutPath.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "fcc-bench: cannot open '%s' for writing\n",
+                     OutPath.c_str());
+        return 2;
+      }
+    }
+    writeQualityJson(Out, Suite, Params.PaperRoutines, Rows);
+    if (Out != stdout)
+      std::fclose(Out);
+
+    // A configuration that changed behavior or failed to allocate is wrong
+    // regardless of any baseline: fail the run itself, not just the diff.
+    for (const QualityRow &R : Rows)
+      if (R.Diverged != 0 || R.AllocFailures != 0) {
+        std::fprintf(stderr,
+                     "fcc-bench: %s: %u diverged, %u allocation failures\n",
+                     R.Name.c_str(), R.Diverged, R.AllocFailures);
+        return 1;
+      }
+    return 0;
+  }
 
   std::vector<Benchmark> Benches = buildSuite(Params, Analyses);
   if (ListOnly) {

@@ -9,6 +9,9 @@
 //   --runs=N            programs to generate and check (default 100)
 //   --seed=N            master seed; run i derives from (seed, i) (default 1)
 //   --jobs=N            worker threads (default 1; 0 = hardware)
+//   --registers=N       bank size for the oracle's register-allocation and
+//                       spill-rewrite cross-checks (default 8; 0 disables
+//                       them; small values like 2 force heavy spilling)
 //   --time-budget=SECS  stop launching runs after SECS seconds (0 = off)
 //   --max-findings=N    stop launching runs after N findings (0 = off)
 //   --out-dir=PATH      write summary.json and one .fcc repro per finding
@@ -49,7 +52,7 @@ struct ToolOptions {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--runs=N] [--seed=N] [--jobs=N]\n"
+               "usage: %s [--runs=N] [--seed=N] [--jobs=N] [--registers=N]\n"
                "       [--time-budget=SECS] [--max-findings=N]\n"
                "       [--out-dir=PATH] [--json=PATH] [--no-reduce] "
                "[--quiet]\n",
@@ -84,6 +87,9 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       }
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseUnsignedFlag(Arg, "--jobs=", Opts.Fuzz.Jobs))
+        return false;
+    } else if (Arg.rfind("--registers=", 0) == 0) {
+      if (!parseUnsignedFlag(Arg, "--registers=", Opts.Fuzz.Oracle.Registers))
         return false;
     } else if (Arg.rfind("--time-budget=", 0) == 0) {
       if (!parseUint64Arg(Arg.substr(std::strlen("--time-budget=")),

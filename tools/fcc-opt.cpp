@@ -11,6 +11,10 @@
 //                     dominator / liveness implementations backing the
 //                     pipeline (default fast = dsu+sparse); output is
 //                     byte-identical across choices, only build time moves
+//   --machine=uniformN|dsp|embedded
+//                     run the register allocator after the pipeline: color
+//                     against that machine's banks, inserting spill/reload
+//                     code until allocation succeeds
 //   --ssa-only        stop in SSA form (pruned, copies folded) and print it
 //   --no-fold         build SSA without copy folding (with --ssa-only)
 //   --copyprop        run local copy propagation after the pipeline
@@ -40,6 +44,7 @@
 #include "opt/CopyPropagation.h"
 #include "opt/DeadCodeElim.h"
 #include "pipeline/Pipeline.h"
+#include "regalloc/SpillRewriter.h"
 #include "ssa/SSABuilder.h"
 #include "support/ArgParse.h"
 #include "support/Stats.h"
@@ -47,6 +52,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -61,6 +67,7 @@ struct DriverOptions {
   std::string InputPath;
   std::optional<PipelineKind> Pipeline = PipelineKind::New;
   AnalysisStrategy Analyses;
+  std::optional<MachineModel> Machine;
   bool SsaOnly = false;
   bool NoFold = false;
   bool CopyProp = false;
@@ -79,6 +86,7 @@ int usage(const char *Argv0) {
                "usage: %s FILE.ir [--pipeline=new|standard|briggs|briggs*]\n"
                "       [--analysis=fast|legacy|dsu+sparse|chk+dense|"
                "dsu+dense|chk+sparse]\n"
+               "       [--machine=uniformN|dsp|embedded]\n"
                "       [--ssa-only] [--no-fold] [--copyprop] [--dce] "
                "[--strict] [--check] [--trace] [--trace=PATH] [--stats]\n"
                "       [--run ARGS...]\n",
@@ -127,6 +135,14 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
         std::fprintf(stderr, "unknown analysis strategy '%s'\n", Name.c_str());
         return false;
       }
+    } else if (Arg.rfind("--machine=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--machine="));
+      MachineModel MM;
+      if (!parseMachineModel(Name, MM)) {
+        std::fprintf(stderr, "unknown machine model '%s'\n", Name.c_str());
+        return false;
+      }
+      Opts.Machine = std::move(MM);
     } else if (Arg == "--run") {
       Opts.Execute = true;
       for (++I; I < Argc; ++I) {
@@ -157,6 +173,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "--check validates a coalescing partition; it requires "
                  "--pipeline=new (without --ssa-only)\n");
+    return 2;
+  }
+  if (Opts.Machine && Opts.SsaOnly) {
+    std::fprintf(stderr, "--machine allocates phi-free code; it cannot be "
+                         "combined with --ssa-only\n");
     return 2;
   }
 
@@ -245,13 +266,37 @@ int main(int Argc, char **Argv) {
           std::printf("; @%s: coalescing check passed\n", F.name().c_str());
       }
       Coalescer.rewrite();
+      if (Opts.Machine) {
+        // The expanded path ends where the pipeline would, so allocation
+        // runs on the same phi-free code the one-shot path produces.
+        SpillRewriteOptions SR;
+        SR.Machine = *Opts.Machine;
+        try {
+          SpillRewriteResult R = insertSpillCode(F, SR);
+          if (Opts.Stats)
+            std::printf("; @%s: %u registers, %u spill stores, %u reloads, "
+                        "%u ranges split, %u regalloc iterations\n",
+                        F.name().c_str(), R.Alloc.RegistersUsed, R.SpillStores,
+                        R.Reloads, R.RangesSplit, R.Iterations);
+        } catch (const std::exception &E) {
+          std::fprintf(stderr, "@%s: %s\n", F.name().c_str(), E.what());
+          return 1;
+        }
+      }
     } else {
       Instr.Function = F.name();
       PipelineOptions Pipe;
       Pipe.Kind = *Opts.Pipeline;
       Pipe.Analyses = Opts.Analyses;
+      Pipe.Machine = Opts.Machine ? &*Opts.Machine : nullptr;
       Pipe.Instr = Observe ? &Instr : nullptr;
-      PipelineResult Result = runPipeline(F, Pipe);
+      PipelineResult Result;
+      try {
+        Result = runPipeline(F, Pipe);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "@%s: %s\n", F.name().c_str(), E.what());
+        return 1;
+      }
       if (Opts.Stats) {
         std::printf("; @%s (%s): %u us, %u phis, %u copies left, peak %zu "
                     "bytes\n",
@@ -259,6 +304,12 @@ int main(int Argc, char **Argv) {
                     static_cast<unsigned>(Result.TimeMicros),
                     Result.PhisInserted, Result.StaticCopies,
                     Result.PeakBytes);
+        if (Result.Allocated)
+          std::printf("; @%s: %u registers, %u spill stores, %u reloads, "
+                      "%u ranges split, %u regalloc iterations\n",
+                      F.name().c_str(), Result.RegistersUsed,
+                      Result.SpillStores, Result.Reloads, Result.RangesSplit,
+                      Result.RegallocIterations);
         if (!Result.Phases.empty()) {
           std::printf(";   phases:");
           for (const PhaseSample &P : Result.Phases)
@@ -294,6 +345,14 @@ int main(int Argc, char **Argv) {
       ExecutionResult R = Interpreter().run(F, Opts.RunArgs);
       if (!R.Completed) {
         std::printf("; @%s: hit the step limit\n", F.name().c_str());
+      } else if (Opts.Machine) {
+        std::printf("; @%s(...) = %lld  (%llu instructions, %llu copies, "
+                    "%llu spill ops)\n",
+                    F.name().c_str(),
+                    static_cast<long long>(R.ReturnValue),
+                    static_cast<unsigned long long>(R.InstructionsExecuted),
+                    static_cast<unsigned long long>(R.CopiesExecuted),
+                    static_cast<unsigned long long>(R.SpillOpsExecuted));
       } else {
         std::printf("; @%s(...) = %lld  (%llu instructions, %llu copies)\n",
                     F.name().c_str(),

@@ -13,6 +13,10 @@
 //   --max-queue=N       admitted-but-unanswered bound before requests are
 //                       rejected as overloaded (default 256)
 //   --pipeline=new|standard|briggs|briggs*  configuration (default new)
+//   --machine=uniformN|dsp|embedded
+//                       run the register allocator after the pipeline on
+//                       every unit (spill columns appear in responses; the
+//                       machine name is part of the cache fingerprint)
 //   --check             validate each New-pipeline partition (checker)
 //   --strict            insert entry initializations for non-strict inputs
 //   --run ARG,...       execute every function on the integer args
@@ -58,6 +62,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s --socket=PATH [--jobs=N] [--cache-bytes=N]\n"
       "       [--max-queue=N] [--pipeline=new|standard|briggs|briggs*]\n"
+      "       [--machine=uniformN|dsp|embedded]\n"
       "       [--check] [--strict] [--run ARG,...] [--max-instructions=N]\n"
       "       [--quiet]\n",
       Argv0);
@@ -107,6 +112,14 @@ bool parseArgs(int Argc, char **Argv, Server::Options &Opts, bool &Quiet) {
         std::fprintf(stderr, "unknown pipeline '%s'\n", Name.c_str());
         return false;
       }
+    } else if (Arg.rfind("--machine=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--machine="));
+      MachineModel MM;
+      if (!parseMachineModel(Name, MM)) {
+        std::fprintf(stderr, "unknown machine model '%s'\n", Name.c_str());
+        return false;
+      }
+      Opts.Service.Machine = std::move(MM);
     } else if (Arg == "--check") {
       Opts.Service.CheckPartition = true;
     } else if (Arg == "--strict") {
