@@ -15,6 +15,7 @@
 #include "ir/Module.h"
 #include "ir/Variable.h"
 #include "ir/Verifier.h"
+#include "opt/PassManager.h"
 #include "pipeline/Pipeline.h"
 #include "regalloc/GraphColoringAllocator.h"
 #include "regalloc/SpillRewriter.h"
@@ -22,9 +23,11 @@
 #include "ssa/StandardDestruction.h"
 #include "support/SplitMix64.h"
 
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 
 using namespace fcc;
 
@@ -49,6 +52,12 @@ struct OracleConfig {
   /// pins the old pair so every campaign compares new-vs-old end to end on
   /// top of the direct bit-level cross-validation below.
   AnalysisStrategy Analyses = {};
+  /// Optimization pass sequence (passSequenceName spelling) run over the
+  /// SSA form before destruction; null or empty runs no passes. The passes
+  /// only rewrite within our total semantics (wrapping arithmetic, safe
+  /// div/mod), so the optimized code must still execute equivalently on
+  /// every argument vector — that is the property under test.
+  const char *Passes = nullptr;
 };
 
 /// Every SSA flavor appears with folding so the fast coalescer's deleted-
@@ -74,11 +83,30 @@ constexpr OracleConfig Configs[] = {
     {"pruned+nofold/briggs", SSAFlavor::Pruned, false, DestructKind::Briggs},
     {"pruned+nofold/briggs*", SSAFlavor::Pruned, false,
      DestructKind::BriggsStar},
+    // Optimized-pipeline configurations: each fast entry has a standard
+    // twin with the same flavor, fold and passes, so the copy-regression
+    // invariant below stays config-matched. The fold pair exercises SCCP
+    // over already-folded copies; the nofold pair leaves every input copy
+    // for SCCP's own forwarding, then runs the full three-pass sequence.
+    {"pruned+fold/fast+sccp", SSAFlavor::Pruned, true, DestructKind::Fast,
+     {}, "sccp"},
+    {"pruned+fold/standard+sccp", SSAFlavor::Pruned, true,
+     DestructKind::Standard, {}, "sccp"},
+    {"pruned+nofold/fast+sccp,adce,pre", SSAFlavor::Pruned, false,
+     DestructKind::Fast, {}, "sccp,adce,pre"},
+    {"pruned+nofold/standard+sccp,adce,pre", SSAFlavor::Pruned, false,
+     DestructKind::Standard, {}, "sccp,adce,pre"},
 };
 constexpr unsigned NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
 
 bool isFastKind(DestructKind K) {
   return K == DestructKind::Fast || K == DestructKind::FastChecked;
+}
+
+/// Null and "" both mean "no passes" (the dynamic extra configuration
+/// always carries a spelled-out sequence).
+bool samePasses(const char *A, const char *B) {
+  return std::strcmp(A ? A : "", B ? B : "") == 0;
 }
 
 /// The seeded argument vectors one function is executed on: all-zeros plus
@@ -117,11 +145,28 @@ std::string formatArgs(const std::vector<int64_t> &Args) {
 /// re-verification, crashes via the caller's catch.
 bool runConfig(Function &F, const OracleConfig &C, std::string &Error) {
   splitCriticalEdges(F);
-  DominatorTree DT(F, C.Analyses.Dominators);
+  std::optional<DominatorTree> DT;
+  DT.emplace(F, C.Analyses.Dominators);
   SSABuildOptions Build;
   Build.Flavor = C.Flavor;
   Build.FoldCopies = C.Fold;
-  buildSSA(F, DT, Build);
+  buildSSA(F, *DT, Build);
+
+  if (C.Passes && *C.Passes) {
+    std::vector<PassKind> Seq;
+    if (!parsePassSequence(C.Passes, Seq))
+      throw std::logic_error(std::string("bad pass sequence: ") + C.Passes);
+    PassManagerOptions PM;
+    // Always verify between passes here, even in release campaigns: a
+    // broken invariant becomes an InternalError divergence naming the
+    // offending pass instead of a downstream miscompile.
+    PM.Verify = true;
+    runPassSequence(F, Seq, PM);
+    // Branch folding can merge blocks' edges and delete blocks; restore
+    // the pipeline invariants the coalescers assume.
+    splitCriticalEdges(F);
+    DT.emplace(F, C.Analyses.Dominators);
+  }
 
   switch (C.Destruct) {
   case DestructKind::Standard:
@@ -130,7 +175,7 @@ bool runConfig(Function &F, const OracleConfig &C, std::string &Error) {
   case DestructKind::Fast:
   case DestructKind::FastChecked: {
     Liveness LV(F, C.Analyses.Liveness);
-    FastCoalescer Coalescer(F, DT, LV);
+    FastCoalescer Coalescer(F, *DT, LV);
     Coalescer.computePartition();
     if (C.Destruct == DestructKind::FastChecked &&
         !checkCoalescing(
@@ -207,9 +252,20 @@ bool crossValidateAnalyses(Function &F, std::string &Detail) {
 }
 
 /// Validates \p Alloc against liveness computed from scratch: walking each
-/// block backward from its live-out set, no two simultaneously-live
-/// variables may occupy the same register. Returns false with \p Error set
-/// to the offending pair.
+/// block backward from its live-out set, no definition may write a
+/// register that another variable live across that definition occupies.
+/// This is the def-point interference definition the allocator's graph is
+/// specified by, including Chaitin's copy rule: a copy's definition is
+/// allowed to share the source's register, because right after the copy
+/// both names hold the same value — the sharing is exactly what
+/// coalescing-by-color buys, and any later redefinition of either name
+/// while the other lives is itself a definition point this walk checks.
+/// (A plain "no two simultaneously-live variables share a register" rule
+/// would reject those correct allocations: `%t = copy %v; spill %t` with
+/// %v live through stores precisely %v's value.) Parallel definition
+/// points — entry parameters and phi groups — are checked against
+/// everything live across them and pairwise. Returns false with \p Error
+/// set to the offending pair.
 bool checkAllocation(const Function &F, const RegAllocResult &Alloc,
                      std::string &Error) {
   Liveness LV(F);
@@ -218,57 +274,84 @@ bool checkAllocation(const Function &F, const RegAllocResult &Alloc,
     return Id < Alloc.RegisterOf.size() ? Alloc.RegisterOf[Id] : -1;
   };
   std::vector<bool> Live(NumVars, false);
-  // Owner of each register among currently-live variables; sized lazily.
-  std::vector<int> Owner;
-  auto Clash = [&](unsigned Id) -> bool {
-    int R = RegOf(Id);
+  // Does defining \p Def clobber a live variable? \p Exempt is the copy
+  // source (or null): dead defs still write their register, so the scan
+  // runs whether or not \p Def was live.
+  auto DefClash = [&](const Variable *Def, const Variable *Exempt) -> bool {
+    int R = RegOf(Def->id());
     if (R < 0)
       return false;
-    if (static_cast<size_t>(R) >= Owner.size())
-      Owner.resize(R + 1, -1);
-    if (Owner[R] >= 0 && Owner[R] != static_cast<int>(Id)) {
-      Error = "register r" + std::to_string(R) + " held by both %" +
-              F.variable(Owner[R])->name() + " and %" +
-              F.variable(Id)->name();
+    for (unsigned Id = 0; Id != NumVars; ++Id) {
+      if (!Live[Id] || Id == Def->id())
+        continue;
+      const Variable *V = F.variable(Id);
+      if (V == Exempt || RegOf(Id) != R)
+        continue;
+      Error = "register r" + std::to_string(R) + " written by %" +
+              Def->name() + " while %" + V->name() + " is live";
       return true;
     }
-    Owner[R] = static_cast<int>(Id);
     return false;
-  };
-  auto Release = [&](unsigned Id) {
-    int R = RegOf(Id);
-    if (R >= 0 && static_cast<size_t>(R) < Owner.size() &&
-        Owner[R] == static_cast<int>(Id))
-      Owner[R] = -1;
   };
 
   for (const auto &B : F.blocks()) {
     std::fill(Live.begin(), Live.end(), false);
-    Owner.assign(Owner.size(), -1);
     for (unsigned Id = 0; Id != NumVars; ++Id)
-      if (LV.isLiveOut(B.get(), F.variable(Id))) {
+      if (LV.isLiveOut(B.get(), F.variable(Id)))
         Live[Id] = true;
-        if (Clash(Id))
-          return false;
-      }
     const auto &Insts = B->insts();
     for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
       const Instruction &I = **It;
       if (const Variable *Def = I.getDef()) {
-        if (Live[Def->id()]) {
-          Live[Def->id()] = false;
-          Release(Def->id());
-        }
+        Live[Def->id()] = false;
+        const Variable *CopySrc =
+            I.isCopy() && I.getOperand(0).isVar() ? I.getOperand(0).getVar()
+                                                  : nullptr;
+        if (DefClash(Def, CopySrc))
+          return false;
       }
-      bool Bad = false;
-      I.forEachUsedVar([&](const Variable *V) {
-        if (!Bad && !Live[V->id()]) {
-          Live[V->id()] = true;
-          Bad = Clash(V->id());
-        }
-      });
-      if (Bad)
+      I.forEachUsedVar([&](const Variable *V) { Live[V->id()] = true; });
+    }
+
+    // Parameters are defined in parallel at the entry top by the calling
+    // convention: each against what is live there, and pairwise (they
+    // arrive in distinct locations).
+    if (B.get() == F.entry()) {
+      const auto &Params = F.params();
+      for (const Variable *P : Params)
+        Live[P->id()] = false;
+      for (unsigned PI = 0; PI != Params.size(); ++PI) {
+        if (DefClash(Params[PI], nullptr))
+          return false;
+        int RA = RegOf(Params[PI]->id());
+        for (unsigned PJ = PI + 1; RA >= 0 && PJ != Params.size(); ++PJ)
+          if (RegOf(Params[PJ]->id()) == RA) {
+            Error = "parameters %" + Params[PI]->name() + " and %" +
+                    Params[PJ]->name() + " share register r" +
+                    std::to_string(RA);
+            return false;
+          }
+      }
+    }
+
+    // Parallel phi definitions at the block top (post-destruction code has
+    // none, but incomplete allocations are checked pre-rewrite too).
+    const auto &Phis = B->phis();
+    if (Phis.empty())
+      continue;
+    for (const auto &Phi : Phis)
+      Live[Phi->getDef()->id()] = false;
+    for (unsigned PI = 0; PI != Phis.size(); ++PI) {
+      if (DefClash(Phis[PI]->getDef(), nullptr))
         return false;
+      int RA = RegOf(Phis[PI]->getDef()->id());
+      for (unsigned PJ = PI + 1; RA >= 0 && PJ != Phis.size(); ++PJ)
+        if (RegOf(Phis[PJ]->getDef()->id()) == RA) {
+          Error = "phi definitions %" + Phis[PI]->getDef()->name() +
+                  " and %" + Phis[PJ]->getDef()->name() +
+                  " share register r" + std::to_string(RA);
+          return false;
+        }
     }
   }
   return true;
@@ -381,13 +464,31 @@ OracleResult fcc::runDifferentialOracle(const std::string &IrText,
   }
   Result.InputOk = true;
 
+  // The configurations for this invocation: the static table plus, when
+  // requested, one fast-checked configuration running the caller's pass
+  // sequence (fcc-fuzz --passes=), so campaigns can stress an arbitrary
+  // phase ordering without a rebuild. The extra entry has no standard
+  // twin, so it participates in every check except the copy-regression
+  // pairing below.
+  std::vector<OracleConfig> Run(Configs, Configs + NumConfigs);
+  std::string ExtraName, ExtraPasses;
+  if (!Opts.Passes.empty()) {
+    ExtraPasses = passSequenceName(Opts.Passes);
+    ExtraName = "pruned+fold/fast-checked+" + ExtraPasses;
+    OracleConfig Extra = {ExtraName.c_str(), SSAFlavor::Pruned, true,
+                          DestructKind::FastChecked, {},
+                          ExtraPasses.c_str()};
+    Run.push_back(Extra);
+  }
+  const unsigned NumRun = static_cast<unsigned>(Run.size());
+
   // Static copy counts per (function, config), for the invariant check.
   constexpr unsigned NoCount = std::numeric_limits<unsigned>::max();
   std::vector<std::vector<unsigned>> Copies(
-      NumFuncs, std::vector<unsigned>(NumConfigs, NoCount));
+      NumFuncs, std::vector<unsigned>(NumRun, NoCount));
 
-  for (unsigned CI = 0; CI != NumConfigs; ++CI) {
-    const OracleConfig &C = Configs[CI];
+  for (unsigned CI = 0; CI != NumRun; ++CI) {
+    const OracleConfig &C = Run[CI];
     ++Result.ConfigsRun;
     std::string ParseError;
     std::unique_ptr<Module> M = parseModule(IrText, ParseError);
@@ -498,25 +599,29 @@ OracleResult fcc::runDifferentialOracle(const std::string &IrText,
     }
   }
 
-  // Static invariant: within each (flavor, fold) group the fast coalescer
-  // must not leave more copies than naive destruction — it only removes
-  // copies the standard scheme would insert.
+  // Static invariant: within each (flavor, fold, passes) group the fast
+  // coalescer must not leave more copies than naive destruction — it only
+  // removes copies the standard scheme would insert. Same-passes matters:
+  // the passes rewrite the SSA form itself, so only configs that saw the
+  // same pre-destruction code are comparable.
   for (unsigned FI = 0; FI != NumFuncs; ++FI) {
-    for (unsigned A = 0; A != NumConfigs; ++A) {
-      if (!isFastKind(Configs[A].Destruct) || Copies[FI][A] == NoCount)
+    for (unsigned A = 0; A != NumRun; ++A) {
+      if (!isFastKind(Run[A].Destruct) || Copies[FI][A] == NoCount)
         continue;
-      for (unsigned B = 0; B != NumConfigs; ++B) {
-        if (Configs[B].Destruct != DestructKind::Standard ||
-            Configs[B].Flavor != Configs[A].Flavor ||
-            Configs[B].Fold != Configs[A].Fold || Copies[FI][B] == NoCount)
+      for (unsigned B = 0; B != NumRun; ++B) {
+        if (Run[B].Destruct != DestructKind::Standard ||
+            Run[B].Flavor != Run[A].Flavor ||
+            Run[B].Fold != Run[A].Fold ||
+            !samePasses(Run[B].Passes, Run[A].Passes) ||
+            Copies[FI][B] == NoCount)
           continue;
         if (Copies[FI][A] > Copies[FI][B]) {
           const std::string &Name = RefM->functions()[FI]->name();
           Result.Divergences.push_back(
               {DivergenceKind::CopyRegression,
-               "@" + Name + " " + Configs[A].Name,
+               "@" + Name + " " + Run[A].Name,
                "fast coalescing left " + std::to_string(Copies[FI][A]) +
-                   " copies; " + Configs[B].Name + " leaves only " +
+                   " copies; " + Run[B].Name + " leaves only " +
                    std::to_string(Copies[FI][B])});
         }
       }

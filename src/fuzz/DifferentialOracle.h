@@ -5,9 +5,11 @@
 /// function it materializes a fresh copy per pipeline configuration —
 /// minimal / semi-pruned / pruned SSA, copy folding on and off, the paper's
 /// FastCoalescer (with and without the CoalescingChecker audit) against
-/// standard phi instantiation and the Chaitin/Briggs coalescers — runs the
-/// conversion, and compares observable behaviour under the interpreter on
-/// several seeded argument vectors. On top of the dynamic comparison it
+/// standard phi instantiation and the Chaitin/Briggs coalescers, plus
+/// optimized-pipeline configurations that run SCCP/ADCE/PRE sequences over
+/// the SSA form before destruction — runs the conversion, and compares
+/// observable behaviour under the interpreter on several seeded argument
+/// vectors. On top of the dynamic comparison it
 /// asserts two static properties:
 ///
 ///   - the fast coalescer never leaves *more* copies than the naive
@@ -30,6 +32,8 @@
 
 #ifndef FCC_FUZZ_DIFFERENTIALORACLE_H
 #define FCC_FUZZ_DIFFERENTIALORACLE_H
+
+#include "opt/PassManager.h"
 
 #include <cstdint>
 #include <string>
@@ -57,6 +61,12 @@ struct OracleOptions {
   /// rewritten code, and execution against the reference ("/spill").
   /// 0 skips both paths; small values (2) force heavy spill traffic.
   unsigned Registers = 8;
+  /// Extra pass sequence: when non-empty, one additional fast-checked
+  /// configuration runs these optimization passes (opt/PassManager.h)
+  /// over pruned+fold SSA before coalescing, on top of the built-in pass
+  /// configurations the oracle always compares. Lets campaigns stress a
+  /// specific phase ordering without rebuilding.
+  std::vector<PassKind> Passes;
 };
 
 /// What kind of disagreement the oracle observed.
@@ -66,7 +76,8 @@ enum class DivergenceKind {
   ExecMismatch,   ///< Return value / completion / final memory diverged.
   CopyRegression,   ///< Fast coalescing left more copies than naive
                     ///< destruction of the same SSA flavor.
-  AllocUnsound,     ///< Two simultaneously-live variables share a register.
+  AllocUnsound,     ///< A definition writes a register another variable
+                    ///< live across it occupies (copy sources exempt).
   AnalysisMismatch, ///< DSU vs CHK dominators or sparse vs dense liveness
                     ///< disagreed on the same function.
   InternalError,    ///< A pass threw; captured, remaining configs still ran.

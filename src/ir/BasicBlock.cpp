@@ -52,6 +52,17 @@ void BasicBlock::eraseInst(Instruction *I) {
   Insts.erase(It);
 }
 
+std::unique_ptr<Instruction> BasicBlock::takeInst(Instruction *I) {
+  assert(!I->isTerminator() && "terminators cannot be detached");
+  auto It = std::find_if(Insts.begin(), Insts.end(),
+                         [&](const auto &P) { return P.get() == I; });
+  assert(It != Insts.end() && "instruction not in this block");
+  std::unique_ptr<Instruction> Out = std::move(*It);
+  Insts.erase(It);
+  Out->Parent = nullptr;
+  return Out;
+}
+
 std::vector<std::unique_ptr<Instruction>> BasicBlock::takePhis() {
   return std::move(Phis);
 }
@@ -67,4 +78,11 @@ unsigned BasicBlock::predIndex(const BasicBlock *P) const {
 void BasicBlock::replacePred(BasicBlock *Old, BasicBlock *New) {
   unsigned Idx = predIndex(Old);
   Preds[Idx] = New;
+}
+
+void BasicBlock::removePredEdge(const BasicBlock *P) {
+  unsigned Slot = predIndex(P);
+  for (const auto &Phi : Phis)
+    Phi->removePhiOperand(Slot);
+  Preds.erase(Preds.begin() + Slot);
 }

@@ -63,6 +63,10 @@ public:
   /// Removes the non-phi instruction \p I from the block.
   void eraseInst(Instruction *I);
 
+  /// Detaches the non-terminator body instruction \p I, returning ownership
+  /// so a pass can re-insert it elsewhere (code motion).
+  std::unique_ptr<Instruction> takeInst(Instruction *I);
+
   /// Removes all phis, returning ownership to the caller (SSA destruction
   /// consumes them in bulk).
   std::vector<std::unique_ptr<Instruction>> takePhis();
@@ -77,6 +81,12 @@ public:
   /// untouched (the value now flows along the new edge; used by critical
   /// edge splitting).
   void replacePred(BasicBlock *Old, BasicBlock *New);
+
+  /// Deletes the incoming edge from \p P: removes the predecessor entry and
+  /// every phi's operand at that slot, keeping the phi/pred lock-step
+  /// invariant. The caller owns the other half of the edge (\p P's
+  /// terminator must stop naming this block).
+  void removePredEdge(const BasicBlock *P);
 
   /// Successor blocks as named by the terminator.
   const std::vector<BasicBlock *> &succs() const {

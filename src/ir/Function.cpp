@@ -52,6 +52,45 @@ void Function::recomputePreds() {
   }
 }
 
+unsigned Function::removeUnreachableBlocks() {
+  if (Blocks.empty())
+    return 0;
+  std::vector<bool> Reached(Blocks.size(), false);
+  std::vector<BasicBlock *> Stack{entry()};
+  Reached[entry()->id()] = true;
+  while (!Stack.empty()) {
+    BasicBlock *B = Stack.back();
+    Stack.pop_back();
+    if (!B->hasTerminator())
+      continue;
+    for (BasicBlock *S : B->terminator()->successors())
+      if (!Reached[S->id()]) {
+        Reached[S->id()] = true;
+        Stack.push_back(S);
+      }
+  }
+
+  // Drop edges entering surviving blocks from doomed ones first, so phi
+  // operands stay aligned with the predecessor lists throughout.
+  for (const auto &B : Blocks) {
+    if (!Reached[B->id()])
+      continue;
+    for (unsigned I = B->getNumPreds(); I-- != 0;)
+      if (!Reached[B->preds()[I]->id()])
+        B->removePredEdge(B->preds()[I]);
+  }
+
+  unsigned Removed = 0;
+  for (size_t I = Blocks.size(); I-- != 0;)
+    if (!Reached[Blocks[I]->id()]) {
+      Blocks.erase(Blocks.begin() + I);
+      ++Removed;
+    }
+  for (size_t I = 0; I != Blocks.size(); ++I)
+    Blocks[I]->Id = static_cast<unsigned>(I);
+  return Removed;
+}
+
 unsigned Function::instructionCount() const {
   unsigned Total = 0;
   for (const auto &B : Blocks)

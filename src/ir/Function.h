@@ -78,6 +78,14 @@ public:
   /// asserts otherwise.
   void recomputePreds();
 
+  /// Deletes every block unreachable from the entry, dropping the matching
+  /// predecessor entries and phi operand slots of surviving blocks and
+  /// renumbering block ids to stay index-dense. Safe with phis present
+  /// (unlike recomputePreds). Variables defined only in deleted blocks stay
+  /// in the variable universe as def-less names — strictness guarantees no
+  /// surviving block can use them. Returns the number of blocks removed.
+  unsigned removeUnreachableBlocks();
+
   /// Registers \p Pred as a new predecessor of \p Succ (appended last). Any
   /// phis in \p Succ must be extended by the caller.
   void addPredEdge(BasicBlock *Succ, BasicBlock *Pred) {

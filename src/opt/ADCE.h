@@ -1,0 +1,46 @@
+//===- opt/ADCE.h - Aggressive dead code elimination ------------*- C++ -*-===//
+///
+/// \file
+/// Control-dependence-aware aggressive DCE. Instead of proving
+/// instructions dead, everything is presumed dead until marked live from
+/// the roots (returns and stores): operands of live
+/// instructions, the incoming terminators of live phis, and — via reverse
+/// dominance frontiers over a postdominator tree — the conditional
+/// branches a live instruction is control-dependent on. Dead phis are
+/// pruned, dead conditional branches are retargeted at the nearest live
+/// postdominator, and the bypassed region is deleted.
+///
+/// When some block cannot reach a return (an infinite loop), the pass
+/// degrades to plain dead-instruction removal with every terminator kept
+/// live — branch surgery there could turn a non-terminating program into a
+/// terminating one, which the differential oracle would observe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_OPT_ADCE_H
+#define FCC_OPT_ADCE_H
+
+namespace fcc {
+
+class Function;
+
+/// What one ADCE run removed.
+struct ADCEStats {
+  /// Dead non-terminator instructions deleted.
+  unsigned InstsRemoved = 0;
+  /// Dead phi instructions pruned.
+  unsigned PhisRemoved = 0;
+  /// Dead conditional branches retargeted to unconditional ones.
+  unsigned BranchesFolded = 0;
+  /// Blocks deleted as unreachable after retargeting.
+  unsigned BlocksRemoved = 0;
+};
+
+/// Runs aggressive DCE over \p F, which must be verified strict SSA; it
+/// remains so. The CFG may shrink (retargeted branches, deleted blocks) —
+/// dominator trees and liveness over \p F are invalidated.
+ADCEStats runADCE(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_OPT_ADCE_H

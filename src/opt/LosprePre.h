@@ -1,0 +1,42 @@
+//===- opt/LosprePre.h - Speculative loop PRE -------------------*- C++ -*-===//
+///
+/// \file
+/// A lospre-lite partial redundancy eliminator: loop-invariant pure
+/// computations (arithmetic and comparisons — never loads, which alias
+/// stores) are speculatively hoisted to the immediate dominator of their
+/// loop's header and merged with syntactically equal computations already
+/// available there. "Speculative" as in lospre: the hoisted expression may
+/// execute on paths where the loop body would not have run — safe here
+/// because every candidate is total (wrapping arithmetic, x/0 = 0), so
+/// extra evaluations can neither trap nor be observed.
+///
+/// Driven entirely by the existing dominator tree and natural-loop
+/// analyses; the CFG never changes, only instructions move, so the pass
+/// iterates to a fixpoint on one tree (each hoist strictly ascends it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_OPT_LOSPREPRE_H
+#define FCC_OPT_LOSPREPRE_H
+
+namespace fcc {
+
+class Function;
+
+/// What one PRE run moved.
+struct LosprePreStats {
+  /// Loop-invariant computations hoisted above their loop.
+  unsigned Hoisted = 0;
+  /// Computations deleted because an equal one was already available at
+  /// the hoist target (their uses retargeted at the available def).
+  unsigned Eliminated = 0;
+};
+
+/// Runs loop PRE over \p F, which must be verified strict SSA; it remains
+/// so. The CFG is unchanged — dominator trees stay valid; liveness does
+/// not (live ranges move across blocks).
+LosprePreStats runLosprePre(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_OPT_LOSPREPRE_H

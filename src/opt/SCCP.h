@@ -1,0 +1,48 @@
+//===- opt/SCCP.h - Sparse conditional propagation --------------*- C++ -*-===//
+///
+/// \file
+/// Sparse conditional constant *and* copy propagation over SSA edges
+/// (Wegman–Zadeck). A three-level lattice (unknown / constant / varying)
+/// is propagated only along executable CFG edges, so constants that hold
+/// on every *reachable* path fold even when a dead path would break them;
+/// conditional branches whose condition is proven constant are folded to
+/// unconditional ones and the unreachable region is deleted. Copies are
+/// forwarded at the SSA level (every use of `d` in `d = copy s` is
+/// retargeted at `s`, which is trivially sound under dominance), deleting
+/// the copy — the phase-ordering lever that changes what the coalescers
+/// see.
+///
+/// Arithmetic folds with exactly the interpreter's semantics (two's-
+/// complement wrap, total division: x/0 = x%0 = 0), so folded code can
+/// never diverge from the interpreted reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCC_OPT_SCCP_H
+#define FCC_OPT_SCCP_H
+
+namespace fcc {
+
+class Function;
+
+/// What one SCCP run changed.
+struct SCCPStats {
+  /// Defs proven constant and rewritten to `const` instructions.
+  unsigned ConstantsFolded = 0;
+  /// Copies forwarded to their source and deleted.
+  unsigned CopiesForwarded = 0;
+  /// CondBr terminators with a constant condition folded to Br.
+  unsigned BranchesFolded = 0;
+  /// Unreachable blocks deleted after folding.
+  unsigned BlocksRemoved = 0;
+};
+
+/// Runs sparse conditional constant/copy propagation over \p F, which must
+/// be verified strict SSA; it remains so. The CFG may shrink (folded
+/// branches, deleted blocks) — dominator trees and liveness over \p F are
+/// invalidated.
+SCCPStats runSCCP(Function &F);
+
+} // namespace fcc
+
+#endif // FCC_OPT_SCCP_H

@@ -36,6 +36,7 @@
 #include "analysis/DominatorTree.h"
 #include "analysis/Liveness.h"
 #include "interp/Interpreter.h"
+#include "opt/PassManager.h"
 #include "support/Stats.h"
 #include "workload/KernelSuite.h"
 #include <cstddef>
@@ -102,9 +103,10 @@ struct PipelineResult {
   /// the ones inside the paper's timed window ("pipeline"-category phases:
   /// dominators, ssa-build, liveness, forest-walk/live-range-webs,
   /// briggs-coalesce, rewrite) sum to TimeMicros up to clock granularity.
-  /// split-critical-edges runs before the paper's clock starts and is the
-  /// one sample outside the window, as is "regalloc" (category "regalloc")
-  /// when a machine model requests allocation.
+  /// split-critical-edges runs before the paper's clock starts and is
+  /// outside the window, as are "regalloc" (category "regalloc") when a
+  /// machine model requests allocation and the "opt-*" samples (category
+  /// "opt") when PipelineOptions::Passes is non-empty.
   std::vector<PhaseSample> Phases;
 
   /// Register-allocation stage results, filled only when
@@ -141,6 +143,16 @@ struct PipelineOptions {
   /// The stage runs outside the paper's timing window. Throws
   /// std::runtime_error if an infeasible bank never converges.
   const MachineModel *Machine = nullptr;
+  /// Optimization passes (opt/PassManager.h) run over the SSA form after
+  /// construction and before liveness/coalescing, so the coalescers see
+  /// optimized phi webs and copy chains. The stage's phases carry category
+  /// "opt" and its time is excluded from TimeMicros (like the audit in
+  /// runPipelineChecked) — the paper's window measures the SSA round trip,
+  /// not the optimizer. Empty (the default) skips the stage entirely.
+  /// Not supported with the Briggs pipelines (runPipeline throws
+  /// std::invalid_argument): live-range web identification undoes SSA
+  /// renaming by name and requires unoptimized SSA.
+  std::vector<PassKind> Passes;
 };
 
 /// Runs one configuration over \p F in place. \p F must be a verified,

@@ -71,6 +71,11 @@ uint64_t configFingerprint(const ServiceOptions &O) {
   H.absorb(O.Machine ? 1 : 0);
   if (O.Machine)
     H.absorbBytes(O.Machine->Name);
+  // The canonical sequence spelling determines the pass pipeline uniquely,
+  // and passes change the rewritten text and copy counts.
+  std::string Passes = passSequenceName(O.Passes);
+  H.absorb(Passes.size());
+  H.absorbBytes(Passes);
   uint64_t Flags = 0;
   Flags |= O.CheckPartition ? 1u : 0u;
   Flags |= O.VerifyOutput ? 2u : 0u;
@@ -335,6 +340,7 @@ UnitReport CompilationService::compileUnit(const WorkUnit &Unit,
     PipeOpts.Analyses = Opts.Analyses;
     PipeOpts.Instr = InstrPtr;
     PipeOpts.Machine = Opts.Machine ? &*Opts.Machine : nullptr;
+    PipeOpts.Passes = Opts.Passes;
     if (Opts.CheckPartition && Opts.Pipeline == PipelineKind::New) {
       if (!runPipelineChecked(F, PipeOpts, Record.Compile, Error))
         return Fail(UnitStatus::CheckFailed, "@" + F.name() + ": " + Error);

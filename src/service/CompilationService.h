@@ -57,6 +57,12 @@ struct ServiceOptions {
   /// canonical model name is folded into the cache fingerprint, so one
   /// cache can serve services targeting different machines.
   std::optional<MachineModel> Machine;
+  /// Optimization passes run on each function's SSA form before the
+  /// coalescing pipeline (PipelineOptions::Passes). The canonical sequence
+  /// spelling is folded into the cache fingerprint — the sequence changes
+  /// the rewritten text, so one cache can serve services running different
+  /// pipelines.
+  std::vector<PassKind> Passes;
   /// Worker threads; 0 means hardware concurrency, 1 runs inline.
   unsigned Jobs = 1;
   /// Validate every New-pipeline partition with CoalescingChecker before

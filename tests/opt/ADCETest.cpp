@@ -1,0 +1,183 @@
+//===- tests/opt/ADCETest.cpp ---------------------------------------------===//
+//
+// Control-dependence-aware aggressive DCE: dead computation chains and
+// dead phis disappear, branches nothing live depends on are retargeted at
+// the nearest live postdominator, and functions with blocks that cannot
+// reach a return keep their control flow (branch surgery there could make
+// a non-terminating program terminate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ADCE.h"
+
+#include "../common/TestUtils.h"
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "ssa/SSABuilder.h"
+#include "workload/ProgramGenerator.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+void toSSA(Function &F) {
+  splitCriticalEdges(F);
+  DominatorTree DT(F);
+  SSABuildOptions Opts;
+  Opts.FoldCopies = true;
+  buildSSA(F, DT, Opts);
+}
+
+unsigned countBlocks(const Function &F) {
+  unsigned N = 0;
+  for (const auto &B : F.blocks()) {
+    (void)B;
+    ++N;
+  }
+  return N;
+}
+
+TEST(ADCETest, RemovesDeadComputationChains) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%a) {
+entry:
+  %d1 = mul %a, 3
+  %d2 = add %d1, 7
+  %d3 = sub %d2, %a
+  %r = add %a, 1
+  ret %r
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  ADCEStats St = runADCE(F);
+  EXPECT_EQ(St.InstsRemoved, 3u) << "the whole d1/d2/d3 chain is dead";
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  EXPECT_EQ(testutils::run(F, {4}).ReturnValue, 5);
+}
+
+TEST(ADCETest, PrunesDeadPhisInLoops) {
+  // The loop carries two accumulators; only one reaches the return. The
+  // dead one is a phi cycle (phi -> add -> phi), which "presumed dead
+  // until marked live" collects wholesale — a use-count approach never
+  // could, since the phi and add keep each other's counts positive.
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %i = const 0
+  %live = const 0
+  %dead = const 1
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %live = add %live, %i
+  %dead = mul %dead, 2
+  %i = add %i, 1
+  br head
+exit:
+  ret %live
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  ADCEStats St = runADCE(F);
+  EXPECT_GE(St.PhisRemoved, 1u) << "the dead accumulator's phi is pruned";
+  EXPECT_GE(St.InstsRemoved, 1u) << "its mul goes with it";
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  EXPECT_EQ(testutils::run(F, {5}).ReturnValue, 10);
+}
+
+TEST(ADCETest, RetargetsBranchesNothingLiveDependsOn) {
+  // Both arms of the diamond compute values that never reach the return,
+  // so nothing is control-dependent on the cbr: it retargets to the
+  // nearest live postdominator and the bypassed arms are deleted.
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%x) {
+entry:
+  %c = cmplt %x, 10
+  cbr %c, a, b
+a:
+  %d1 = add %x, 1
+  br join
+b:
+  %d2 = add %x, 2
+  br join
+join:
+  ret %x
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  unsigned Before = countBlocks(F);
+  ADCEStats St = runADCE(F);
+  EXPECT_EQ(St.BranchesFolded, 1u);
+  EXPECT_GE(St.BlocksRemoved, 2u);
+  EXPECT_LT(countBlocks(F), Before);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  for (int64_t X : {3, 30})
+    EXPECT_EQ(testutils::run(F, {X}).ReturnValue, X);
+}
+
+TEST(ADCETest, KeepsControlFlowWhenAReturnIsUnreachable) {
+  // The loop block cannot reach the return: ADCE must degrade to plain
+  // dead-instruction removal and keep every terminator, or it would turn
+  // the (x < 0) non-terminating executions into terminating ones.
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%x) {
+entry:
+  %c = cmplt %x, 0
+  cbr %c, spin, out
+spin:
+  br spin
+out:
+  ret %x
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  unsigned Before = countBlocks(F);
+  ADCEStats St = runADCE(F);
+  EXPECT_EQ(St.BranchesFolded, 0u);
+  EXPECT_EQ(St.BlocksRemoved, 0u);
+  EXPECT_EQ(countBlocks(F), Before);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  EXPECT_EQ(testutils::run(F, {7}).ReturnValue, 7);
+}
+
+class ADCEPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ADCEPropertyTest, PreservesSemanticsOnGeneratedPrograms) {
+  GeneratorOptions Opts;
+  Opts.Seed = GetParam() * 131;
+  Opts.SizeBudget = 8 + GetParam() % 24;
+  Opts.NumParams = 1 + GetParam() % 3;
+  Opts.MemPercent = 25;
+
+  Module MRef, MGot;
+  Function *Ref = generateProgram(MRef, "g", Opts);
+  Function *Got = generateProgram(MGot, "g", Opts);
+  toSSA(*Got);
+  runADCE(*Got);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(*Got, Error)) << Error;
+  for (const auto &Args :
+       testutils::interestingArgs(static_cast<unsigned>(Ref->params().size())))
+    testutils::expectSameBehavior(*Ref, *Got, Args);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ADCEPropertyTest, ::testing::Range(1u, 21u));
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/opt/LosprePreTest.cpp ----------------------------------------===//
+//
+// Lospre-lite speculative PRE: loop-invariant pure computations hoist to
+// the immediate dominator of their loop's header (merging with an equal
+// computation already available there), loads never move (they alias
+// stores), and the CFG is left untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LosprePre.h"
+
+#include "../common/TestUtils.h"
+#include "analysis/CFGUtils.h"
+#include "analysis/DominatorTree.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "ssa/SSABuilder.h"
+#include "workload/ProgramGenerator.h"
+#include <gtest/gtest.h>
+
+using namespace fcc;
+
+namespace {
+
+void toSSA(Function &F) {
+  splitCriticalEdges(F);
+  DominatorTree DT(F);
+  SSABuildOptions Opts;
+  Opts.FoldCopies = true;
+  buildSSA(F, DT, Opts);
+}
+
+unsigned countBlocks(const Function &F) {
+  unsigned N = 0;
+  for (const auto &B : F.blocks()) {
+    (void)B;
+    ++N;
+  }
+  return N;
+}
+
+/// How many instructions with opcode \p Op the block named \p Name holds.
+unsigned countOpsIn(const Function &F, const std::string &Name, Opcode Op) {
+  unsigned N = 0;
+  for (const auto &B : F.blocks()) {
+    if (B->name() != Name)
+      continue;
+    for (const auto &I : B->insts())
+      if (I->opcode() == Op)
+        ++N;
+  }
+  return N;
+}
+
+TEST(LosprePreTest, HoistsLoopInvariantComputation) {
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %i = const 0
+  %s = const 0
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %inv = mul %n, 3
+  %s = add %s, %inv
+  %i = add %i, 1
+  br head
+exit:
+  ret %s
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  unsigned Before = countBlocks(F);
+  LosprePreStats St = runLosprePre(F);
+  EXPECT_GE(St.Hoisted, 1u);
+  EXPECT_EQ(countBlocks(F), Before) << "PRE never changes the CFG";
+  EXPECT_EQ(countOpsIn(F, "body", Opcode::Mul), 0u)
+      << "the invariant mul left the loop body";
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  EXPECT_EQ(testutils::run(F, {4}).ReturnValue, 48);
+  EXPECT_EQ(testutils::run(F, {0}).ReturnValue, 0)
+      << "speculative execution of the total mul is unobservable";
+}
+
+TEST(LosprePreTest, MergesWithComputationAvailableAtTheTarget) {
+  // The same n*3 already exists in the entry block: the hoisted body copy
+  // must merge with it instead of duplicating the computation.
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %pre = mul %n, 3
+  %i = const 0
+  %s = copy %pre
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %inv = mul %n, 3
+  %s = add %s, %inv
+  %i = add %i, 1
+  br head
+exit:
+  ret %s
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  LosprePreStats St = runLosprePre(F);
+  EXPECT_EQ(St.Eliminated, 1u)
+      << "the hoisted mul merges with the available one";
+  EXPECT_EQ(countOpsIn(F, "entry", Opcode::Mul), 1u);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  EXPECT_EQ(testutils::run(F, {2}).ReturnValue, 18);
+}
+
+TEST(LosprePreTest, NeverHoistsLoads) {
+  // The load looks invariant (constant address) but the loop stores
+  // through a pointer: hoisting it would read the pre-store value.
+  auto M = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %i = const 0
+  %s = const 0
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  store 0, %i
+  %v = load 0
+  %s = add %s, %v
+  %i = add %i, 1
+  br head
+exit:
+  ret %s
+}
+)");
+  Function &F = *M->functions()[0];
+  toSSA(F);
+  auto MRef = parseSingleFunctionOrDie(R"(
+func @f(%n) {
+entry:
+  %i = const 0
+  %s = const 0
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  store 0, %i
+  %v = load 0
+  %s = add %s, %v
+  %i = add %i, 1
+  br head
+exit:
+  ret %s
+}
+)");
+  runLosprePre(F);
+  EXPECT_EQ(countOpsIn(F, "body", Opcode::Load), 1u)
+      << "the load must stay under the store";
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, Error)) << Error;
+  testutils::expectSameBehavior(*MRef->functions()[0], F, {5});
+}
+
+class LosprePrePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LosprePrePropertyTest, PreservesSemanticsAndTheCFG) {
+  GeneratorOptions Opts;
+  Opts.Seed = GetParam() * 977;
+  Opts.SizeBudget = 8 + GetParam() % 24;
+  Opts.NumParams = 1 + GetParam() % 3;
+  Opts.MaxLoopDepth = 3;
+
+  Module MRef, MGot;
+  Function *Ref = generateProgram(MRef, "g", Opts);
+  Function *Got = generateProgram(MGot, "g", Opts);
+  toSSA(*Got);
+  unsigned Before = countBlocks(*Got);
+  runLosprePre(*Got);
+  EXPECT_EQ(countBlocks(*Got), Before);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(*Got, Error)) << Error;
+  for (const auto &Args :
+       testutils::interestingArgs(static_cast<unsigned>(Ref->params().size())))
+    testutils::expectSameBehavior(*Ref, *Got, Args);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LosprePrePropertyTest,
+                         ::testing::Range(1u, 21u));
+
+} // namespace

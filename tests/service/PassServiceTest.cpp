@@ -1,0 +1,137 @@
+//===- tests/service/PassServiceTest.cpp ----------------------------------===//
+//
+// The optimization-pass stage through the service layer: a configured pass
+// sequence is part of the cache fingerprint (services running different
+// sequences never share artifacts — a cached unoptimized result served to
+// an optimizing service would silently drop the passes), optimized batch
+// reports stay byte-identical across job counts, and the passes actually
+// change what the pipeline emits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ResultCache.h"
+#include "service/CompilationService.h"
+
+#include "opt/PassManager.h"
+#include "service/BatchReport.h"
+#include "service/WorkUnit.h"
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace fcc;
+
+namespace {
+
+// A constant-foldable diamond feeding a loop (non-SSA source — the
+// pipeline builds SSA itself): SCCP folds the cbr and the merge of %m,
+// ADCE deletes the dead arm, so optimized output is observably different
+// from unoptimized output.
+const char *FoldableLoop = R"(
+func @foldable(%n) {
+entry:
+  %k = const 1
+  cbr %k, taken, skipped
+skipped:
+  %m = const 40
+  br start
+taken:
+  %m = const 4
+  br start
+start:
+  %i = const 0
+  %acc = const 0
+  br head
+head:
+  %c = cmplt %i, %n
+  cbr %c, body, exit
+body:
+  %t = mul %i, %m
+  %acc = add %acc, %t
+  %i = add %i, 1
+  br head
+exit:
+  ret %acc
+}
+)";
+
+uint64_t counter(const BatchReport &R, const std::string &Name) {
+  for (const CounterSnapshot &C : R.Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+ServiceOptions passOptions(const char *Passes, ResultCache *Cache) {
+  ServiceOptions Opts;
+  Opts.CollectStats = true;
+  Opts.Cache = Cache;
+  if (Passes) {
+    EXPECT_TRUE(parsePassSequence(Passes, Opts.Passes));
+  }
+  return Opts;
+}
+
+TEST(PassServiceTest, PassSequencesDoNotShareCacheResults) {
+  // One cache, four configurations: no passes, two different sequences,
+  // and a different ordering of the same passes. Each must key its own
+  // artifacts — orderings included, since phase order changes the output.
+  ResultCache Cache;
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", FoldableLoop));
+
+  for (const char *Passes :
+       {(const char *)nullptr, "sccp", "sccp,adce,pre", "pre,sccp,adce"}) {
+    BatchReport R =
+        CompilationService(passOptions(Passes, &Cache)).run(Units);
+    EXPECT_EQ(counter(R, "cache.misses"), 1u)
+        << (Passes ? Passes : "<none>") << " hit a foreign artifact";
+    EXPECT_EQ(counter(R, "cache.hits"), 0u);
+  }
+
+  // Same sequence again: now it hits.
+  BatchReport R =
+      CompilationService(passOptions("sccp,adce,pre", &Cache)).run(Units);
+  EXPECT_EQ(counter(R, "cache.hits"), 1u);
+}
+
+TEST(PassServiceTest, OptimizedReportsAreIdenticalAcrossJobCounts) {
+  std::vector<WorkUnit> Units;
+  for (unsigned I = 0; I != 8; ++I)
+    Units.push_back(
+        WorkUnit::fromSource("u" + std::to_string(I), FoldableLoop));
+
+  ServiceOptions O1 = passOptions("sccp,adce,pre", nullptr);
+  O1.Execute = true;
+  O1.ExecArgs = {6};
+  ServiceOptions O8 = O1;
+  O1.Jobs = 1;
+  O8.Jobs = 8;
+  BatchReport R1 = CompilationService(O1).run(Units);
+  BatchReport R8 = CompilationService(O8).run(Units);
+  EXPECT_EQ(R1.toJson(false), R8.toJson(false));
+}
+
+TEST(PassServiceTest, PassesChangeThePipelineOutput) {
+  std::vector<WorkUnit> Units;
+  Units.push_back(WorkUnit::fromSource("a", FoldableLoop));
+
+  ServiceOptions Plain = passOptions(nullptr, nullptr);
+  Plain.Execute = true;
+  Plain.ExecArgs = {6};
+  ServiceOptions Optimized = passOptions("sccp,adce", nullptr);
+  Optimized.Execute = true;
+  Optimized.ExecArgs = {6};
+  BatchReport RPlain = CompilationService(Plain).run(Units);
+  BatchReport ROpt = CompilationService(Optimized).run(Units);
+
+  // Same observable result; different compiled artifact.
+  ASSERT_EQ(RPlain.Units.size(), 1u);
+  ASSERT_EQ(ROpt.Units.size(), 1u);
+  EXPECT_TRUE(RPlain.Units[0].ok());
+  EXPECT_TRUE(ROpt.Units[0].ok());
+  EXPECT_NE(RPlain.toJson(false), ROpt.toJson(false))
+      << "sccp,adce made no difference on a constant-foldable diamond";
+}
+
+} // namespace

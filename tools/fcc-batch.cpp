@@ -17,6 +17,9 @@
 //                       run the register allocator after the pipeline on
 //                       every unit; reports gain per-function and total
 //                       spill columns (spill_stores, reloads, ...)
+//   --passes=SEQ        comma-separated optimization passes (sccp, adce,
+//                       pre) run on every unit's SSA form before the
+//                       coalescing pipeline; folded into the cache key
 //   --jobs=N            worker threads (default 1; 0 = hardware)
 //   --generate=N[:SEED] append N generated routines (default seed 1)
 //   --seed=N            generation seed (alternative to --generate's :SEED;
@@ -85,7 +88,7 @@ int usage(const char *Argv0) {
       "usage: %s DIR|FILE... [--pipeline=new|standard|briggs|briggs*]\n"
       "       [--analysis=fast|legacy|dsu+sparse|chk+dense|dsu+dense|"
       "chk+sparse]\n"
-      "       [--machine=uniformN|dsp|embedded]\n"
+      "       [--machine=uniformN|dsp|embedded] [--passes=sccp,adce,pre]\n"
       "       [--jobs=N] [--generate=N[:SEED]] [--seed=N] [--json=PATH]\n"
       "       [--no-timings] [--cache[=BYTES]]\n"
       "       [--stats] [--trace=PATH] [--check] [--run ARG,...] [--strict]\n"
@@ -126,6 +129,14 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
         return false;
       }
       Opts.Service.Machine = std::move(MM);
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--passes="));
+      std::string BadToken;
+      if (!parsePassSequence(Name, Opts.Service.Passes, &BadToken)) {
+        std::fprintf(stderr, "unknown pass '%s' (known passes: %s)\n",
+                     BadToken.c_str(), knownPassNames());
+        return false;
+      }
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       // parseUint64Arg rejects a sign outright, so --jobs=-1 can never wrap
       // into a huge thread count; the explicit range check keeps the later
@@ -233,6 +244,14 @@ int main(int Argc, char **Argv) {
   if (Opts.Service.CheckPartition &&
       Opts.Service.Pipeline != PipelineKind::New) {
     std::fprintf(stderr, "--check requires --pipeline=new\n");
+    return 2;
+  }
+  if (!Opts.Service.Passes.empty() &&
+      (Opts.Service.Pipeline == PipelineKind::Briggs ||
+       Opts.Service.Pipeline == PipelineKind::BriggsImproved)) {
+    std::fprintf(stderr,
+                 "--passes is not supported with the Briggs pipelines "
+                 "(live-range webs assume unoptimized SSA)\n");
     return 2;
   }
 

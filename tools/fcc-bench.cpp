@@ -42,10 +42,14 @@
 // the spill rewriter could not converge on (must be 0).
 //
 //   {"schema": "fcc-quality/1", "suite": S, "routines": N,
-//    "rows": [{"name", "pipeline", "machine", "functions",
+//    "rows": [{"name", "pipeline", "machine"[, "passes"], "functions",
 //              "static_copies", "spill_stores", "reloads", "spill_slots",
 //              "ranges_split", "max_registers_used", "dynamic_copies",
 //              "dynamic_spill_ops", "diverged", "alloc_failures"}, ...]}
+//
+// Optimized-pipeline rows carry a "passes" field (the sequence run before
+// coalescing, e.g. "sccp,adce,pre"); base rows omit it, keeping their
+// bytes identical to the pre-pass-layer schema.
 //
 // Exit status: 0 ok (quality mode: and no divergence/allocation failure),
 // 2 usage/setup error.
@@ -317,9 +321,10 @@ std::vector<Benchmark> buildSuite(const SuiteParams &P,
 /// One pipeline x machine configuration's quality aggregate over the
 /// suite (schema fcc-quality/1). Every field is deterministic.
 struct QualityRow {
-  std::string Name;     ///< "quality/<pipeline>/<machine>"
+  std::string Name;     ///< "quality/<pipeline>[+<passes>]/<machine>"
   std::string Pipeline; ///< pipelineName()
   std::string Machine;  ///< canonical MachineModel name
+  std::string Passes;   ///< passSequenceName(); "" for the base rows
   unsigned Functions = 0;
   uint64_t StaticCopies = 0;
   uint64_t SpillStores = 0;
@@ -345,6 +350,34 @@ std::vector<QualityRow> runQualitySuite(const std::vector<RoutineSpec> &Specs) {
                                 PipelineKind::BriggsImproved};
   const char *Machines[] = {"uniform2", "uniform4", "uniform8", "dsp"};
 
+  struct Variant {
+    PipelineKind Kind;
+    const char *Machine;
+    const char *Passes; // passSequenceName spelling; "" = no opt stage
+  };
+  std::vector<Variant> Variants;
+  for (PipelineKind Kind : Kinds)
+    for (const char *MachineName : Machines)
+      Variants.push_back({Kind, MachineName, ""});
+  // Optimized-pipeline rows: pin how the pass layer shifts copy and spill
+  // counts. The sccp,adce vs sccp,adce,pre vs pre,sccp,adce trio isolates
+  // PRE's contribution and the phase-ordering effect on the same machine;
+  // the uniform2 and dsp rows measure how PRE's extended live ranges feed
+  // spill pressure and banked allocation; the Standard row keeps the
+  // cross-pipeline comparison honest over identical optimized input. The
+  // Briggs pipelines reject passes (their live-range webs assume
+  // unoptimized SSA), so no optimized Briggs rows exist.
+  const Variant OptVariants[] = {
+      {PipelineKind::New, "uniform8", "sccp,adce"},
+      {PipelineKind::New, "uniform8", "sccp,adce,pre"},
+      {PipelineKind::New, "uniform8", "pre,sccp,adce"},
+      {PipelineKind::New, "uniform2", "sccp,adce,pre"},
+      {PipelineKind::New, "dsp", "sccp,adce,pre"},
+      {PipelineKind::Standard, "uniform8", "sccp,adce,pre"},
+  };
+  Variants.insert(Variants.end(), std::begin(OptVariants),
+                  std::end(OptVariants));
+
   // Reference behavior, once per routine x function.
   struct RefExec {
     bool Completed;
@@ -361,54 +394,59 @@ std::vector<QualityRow> runQualitySuite(const std::vector<RoutineSpec> &Specs) {
   }
 
   std::vector<QualityRow> Rows;
-  for (PipelineKind Kind : Kinds) {
-    for (const char *MachineName : Machines) {
-      MachineModel MM;
-      if (!parseMachineModel(MachineName, MM))
-        continue; // Unreachable: the names above are all canonical.
-      QualityRow Row;
-      Row.Pipeline = pipelineName(Kind);
-      Row.Machine = MM.Name;
-      Row.Name = "quality/" + Row.Pipeline + "/" + Row.Machine;
+  for (const Variant &V : Variants) {
+    MachineModel MM;
+    if (!parseMachineModel(V.Machine, MM))
+      continue; // Unreachable: the names above are all canonical.
+    std::vector<PassKind> Passes;
+    if (!parsePassSequence(V.Passes, Passes))
+      continue; // Unreachable: the sequences above are all canonical.
+    QualityRow Row;
+    Row.Pipeline = pipelineName(V.Kind);
+    Row.Machine = MM.Name;
+    Row.Passes = passSequenceName(Passes);
+    Row.Name = "quality/" + Row.Pipeline +
+               (Row.Passes.empty() ? "" : "+" + Row.Passes) + "/" +
+               Row.Machine;
 
-      for (size_t S = 0; S != Specs.size(); ++S) {
-        auto M = Specs[S].materialize();
-        bool RoutineDiverged = false, RoutineFailed = false;
-        size_t FnIndex = 0;
-        for (auto &F : M->functions()) {
-          PipelineOptions Pipe;
-          Pipe.Kind = Kind;
-          Pipe.Machine = &MM;
-          PipelineResult R;
-          try {
-            R = runPipeline(*F, Pipe);
-          } catch (const std::exception &) {
-            RoutineFailed = true;
-            ++FnIndex;
-            continue;
-          }
-          ++Row.Functions;
-          Row.StaticCopies += R.StaticCopies;
-          Row.SpillStores += R.SpillStores;
-          Row.Reloads += R.Reloads;
-          Row.SpillSlots += R.SpillSlots;
-          Row.RangesSplit += R.RangesSplit;
-          Row.MaxRegistersUsed =
-              std::max<uint64_t>(Row.MaxRegistersUsed, R.RegistersUsed);
-
-          ExecutionResult E = Interp.run(*F, Specs[S].Args);
-          Row.DynamicCopies += E.CopiesExecuted;
-          Row.DynamicSpillOps += E.SpillOpsExecuted;
-          const RefExec &Ref = Refs[S][FnIndex++];
-          if (E.Completed != Ref.Completed ||
-              (E.Completed && E.ReturnValue != Ref.ReturnValue))
-            RoutineDiverged = true;
+    for (size_t S = 0; S != Specs.size(); ++S) {
+      auto M = Specs[S].materialize();
+      bool RoutineDiverged = false, RoutineFailed = false;
+      size_t FnIndex = 0;
+      for (auto &F : M->functions()) {
+        PipelineOptions Pipe;
+        Pipe.Kind = V.Kind;
+        Pipe.Machine = &MM;
+        Pipe.Passes = Passes;
+        PipelineResult R;
+        try {
+          R = runPipeline(*F, Pipe);
+        } catch (const std::exception &) {
+          RoutineFailed = true;
+          ++FnIndex;
+          continue;
         }
-        Row.Diverged += RoutineDiverged;
-        Row.AllocFailures += RoutineFailed;
+        ++Row.Functions;
+        Row.StaticCopies += R.StaticCopies;
+        Row.SpillStores += R.SpillStores;
+        Row.Reloads += R.Reloads;
+        Row.SpillSlots += R.SpillSlots;
+        Row.RangesSplit += R.RangesSplit;
+        Row.MaxRegistersUsed =
+            std::max<uint64_t>(Row.MaxRegistersUsed, R.RegistersUsed);
+
+        ExecutionResult E = Interp.run(*F, Specs[S].Args);
+        Row.DynamicCopies += E.CopiesExecuted;
+        Row.DynamicSpillOps += E.SpillOpsExecuted;
+        const RefExec &Ref = Refs[S][FnIndex++];
+        if (E.Completed != Ref.Completed ||
+            (E.Completed && E.ReturnValue != Ref.ReturnValue))
+          RoutineDiverged = true;
       }
-      Rows.push_back(std::move(Row));
+      Row.Diverged += RoutineDiverged;
+      Row.AllocFailures += RoutineFailed;
     }
+    Rows.push_back(std::move(Row));
   }
   return Rows;
 }
@@ -422,16 +460,21 @@ void writeQualityJson(std::FILE *Out, const std::string &Suite,
                Suite.c_str(), Routines);
   for (size_t I = 0; I != Rows.size(); ++I) {
     const QualityRow &R = Rows[I];
+    // "passes" appears only on optimized rows, so the base rows stay
+    // byte-identical to the pre-pass-layer schema.
+    std::string PassesField =
+        R.Passes.empty() ? "" : "\"passes\":\"" + R.Passes + "\",";
     std::fprintf(
         Out,
         "%s\n  {\"name\":\"%s\",\"pipeline\":\"%s\",\"machine\":\"%s\","
-        "\"functions\":%u,"
+        "%s\"functions\":%u,"
         "\"static_copies\":%llu,\"spill_stores\":%llu,\"reloads\":%llu,"
         "\"spill_slots\":%llu,\"ranges_split\":%llu,"
         "\"max_registers_used\":%llu,\"dynamic_copies\":%llu,"
         "\"dynamic_spill_ops\":%llu,\"diverged\":%u,\"alloc_failures\":%u}",
         I ? "," : "", R.Name.c_str(), R.Pipeline.c_str(), R.Machine.c_str(),
-        R.Functions, static_cast<unsigned long long>(R.StaticCopies),
+        PassesField.c_str(), R.Functions,
+        static_cast<unsigned long long>(R.StaticCopies),
         static_cast<unsigned long long>(R.SpillStores),
         static_cast<unsigned long long>(R.Reloads),
         static_cast<unsigned long long>(R.SpillSlots),

@@ -12,6 +12,9 @@
 //   --registers=N       bank size for the oracle's register-allocation and
 //                       spill-rewrite cross-checks (default 8; 0 disables
 //                       them; small values like 2 force heavy spilling)
+//   --passes=SEQ        run one extra fast-checked oracle configuration
+//                       with this optimization pass sequence (sccp, adce,
+//                       pre) on top of the built-in pass configs
 //   --time-budget=SECS  stop launching runs after SECS seconds (0 = off)
 //   --max-findings=N    stop launching runs after N findings (0 = off)
 //   --out-dir=PATH      write summary.json and one .fcc repro per finding
@@ -30,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "opt/PassManager.h"
 #include "support/ArgParse.h"
 
 #include <cstdio>
@@ -53,9 +57,9 @@ struct ToolOptions {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--runs=N] [--seed=N] [--jobs=N] [--registers=N]\n"
-               "       [--time-budget=SECS] [--max-findings=N]\n"
-               "       [--out-dir=PATH] [--json=PATH] [--no-reduce] "
-               "[--quiet]\n",
+               "       [--passes=sccp,adce,pre] [--time-budget=SECS]\n"
+               "       [--max-findings=N] [--out-dir=PATH] [--json=PATH]\n"
+               "       [--no-reduce] [--quiet]\n",
                Argv0);
   return 2;
 }
@@ -91,6 +95,14 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
     } else if (Arg.rfind("--registers=", 0) == 0) {
       if (!parseUnsignedFlag(Arg, "--registers=", Opts.Fuzz.Oracle.Registers))
         return false;
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--passes="));
+      std::string BadToken;
+      if (!parsePassSequence(Name, Opts.Fuzz.Oracle.Passes, &BadToken)) {
+        std::fprintf(stderr, "unknown pass '%s' (known passes: %s)\n",
+                     BadToken.c_str(), knownPassNames());
+        return false;
+      }
     } else if (Arg.rfind("--time-budget=", 0) == 0) {
       if (!parseUint64Arg(Arg.substr(std::strlen("--time-budget=")),
                           Opts.Fuzz.TimeBudgetSeconds)) {

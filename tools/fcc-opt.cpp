@@ -15,6 +15,9 @@
 //                     run the register allocator after the pipeline: color
 //                     against that machine's banks, inserting spill/reload
 //                     code until allocation succeeds
+//   --passes=SEQ      comma-separated optimization passes (sccp, adce, pre)
+//                     run on the SSA form before coalescing; unknown names
+//                     are rejected listing the known passes
 //   --ssa-only        stop in SSA form (pruned, copies folded) and print it
 //   --no-fold         build SSA without copy folding (with --ssa-only)
 //   --copyprop        run local copy propagation after the pipeline
@@ -43,6 +46,7 @@
 #include "ir/Verifier.h"
 #include "opt/CopyPropagation.h"
 #include "opt/DeadCodeElim.h"
+#include "opt/PassManager.h"
 #include "pipeline/Pipeline.h"
 #include "regalloc/SpillRewriter.h"
 #include "ssa/SSABuilder.h"
@@ -68,6 +72,7 @@ struct DriverOptions {
   std::optional<PipelineKind> Pipeline = PipelineKind::New;
   AnalysisStrategy Analyses;
   std::optional<MachineModel> Machine;
+  std::vector<PassKind> Passes;
   bool SsaOnly = false;
   bool NoFold = false;
   bool CopyProp = false;
@@ -86,7 +91,8 @@ int usage(const char *Argv0) {
                "usage: %s FILE.ir [--pipeline=new|standard|briggs|briggs*]\n"
                "       [--analysis=fast|legacy|dsu+sparse|chk+dense|"
                "dsu+dense|chk+sparse]\n"
-               "       [--machine=uniformN|dsp|embedded]\n"
+               "       [--machine=uniformN|dsp|embedded] "
+               "[--passes=sccp,adce,pre]\n"
                "       [--ssa-only] [--no-fold] [--copyprop] [--dce] "
                "[--strict] [--check] [--trace] [--trace=PATH] [--stats]\n"
                "       [--run ARGS...]\n",
@@ -143,6 +149,14 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts) {
         return false;
       }
       Opts.Machine = std::move(MM);
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--passes="));
+      std::string BadToken;
+      if (!parsePassSequence(Name, Opts.Passes, &BadToken)) {
+        std::fprintf(stderr, "unknown pass '%s' (known passes: %s)\n",
+                     BadToken.c_str(), knownPassNames());
+        return false;
+      }
     } else if (Arg == "--run") {
       Opts.Execute = true;
       for (++I; I < Argc; ++I) {
@@ -178,6 +192,13 @@ int main(int Argc, char **Argv) {
   if (Opts.Machine && Opts.SsaOnly) {
     std::fprintf(stderr, "--machine allocates phi-free code; it cannot be "
                          "combined with --ssa-only\n");
+    return 2;
+  }
+  if (!Opts.Passes.empty() && (Opts.Pipeline == PipelineKind::Briggs ||
+                               Opts.Pipeline == PipelineKind::BriggsImproved)) {
+    std::fprintf(stderr,
+                 "--passes is not supported with the Briggs pipelines "
+                 "(live-range webs assume unoptimized SSA)\n");
     return 2;
   }
 
@@ -236,22 +257,44 @@ int main(int Argc, char **Argv) {
       if (Opts.Stats)
         std::printf("; @%s: %u phis, %u copies folded\n", F.name().c_str(),
                     Stats.PhisInserted, Stats.CopiesFolded);
+      if (!Opts.Passes.empty()) {
+        Instr.Function = F.name();
+        PassManagerOptions PM;
+        PM.Instr = Observe ? &Instr : nullptr;
+        PassStats PS = runPassSequence(F, Opts.Passes, PM);
+        if (Opts.Stats)
+          std::printf("; @%s: passes folded %u consts, forwarded %u copies, "
+                      "removed %u insts + %u phis, hoisted %u\n",
+                      F.name().c_str(), PS.SccpConstants, PS.SccpCopies,
+                      PS.InstsRemoved, PS.PhisRemoved, PS.PreHoisted);
+      }
     } else if (Opts.Pipeline == PipelineKind::New &&
                (Opts.Trace || Opts.Check)) {
       // Expanded so the coalescer can narrate and the partition can be
       // audited before it rewrites anything.
       splitCriticalEdges(F);
-      DominatorTree DT(F, Opts.Analyses.Dominators);
+      std::optional<DominatorTree> DT;
+      DT.emplace(F, Opts.Analyses.Dominators);
       SSABuildOptions Build;
       Build.FoldCopies = true;
-      buildSSA(F, DT, Build);
+      buildSSA(F, *DT, Build);
+      if (!Opts.Passes.empty()) {
+        // Same stage order as the pipeline: optimize the SSA form, then
+        // re-split edges and rebuild dominance for the coalescer.
+        Instr.Function = F.name();
+        PassManagerOptions PM;
+        PM.Instr = Observe ? &Instr : nullptr;
+        runPassSequence(F, Opts.Passes, PM);
+        splitCriticalEdges(F);
+        DT.emplace(F, Opts.Analyses.Dominators);
+      }
       Liveness LV(F, Opts.Analyses.Liveness);
       FastCoalescerOptions Coalesce;
       if (Opts.Trace)
         Coalesce.Trace = stderr;
       Instr.Function = F.name();
       Coalesce.Instr = Observe ? &Instr : nullptr;
-      FastCoalescer Coalescer(F, DT, LV, Coalesce);
+      FastCoalescer Coalescer(F, *DT, LV, Coalesce);
       Coalescer.computePartition();
       if (Opts.Check) {
         std::string CheckError;
@@ -289,6 +332,7 @@ int main(int Argc, char **Argv) {
       Pipe.Kind = *Opts.Pipeline;
       Pipe.Analyses = Opts.Analyses;
       Pipe.Machine = Opts.Machine ? &*Opts.Machine : nullptr;
+      Pipe.Passes = Opts.Passes;
       Pipe.Instr = Observe ? &Instr : nullptr;
       PipelineResult Result;
       try {

@@ -17,6 +17,9 @@
 //                       run the register allocator after the pipeline on
 //                       every unit (spill columns appear in responses; the
 //                       machine name is part of the cache fingerprint)
+//   --passes=SEQ        comma-separated optimization passes (sccp, adce,
+//                       pre) run on every unit's SSA form before the
+//                       pipeline (part of the cache fingerprint)
 //   --check             validate each New-pipeline partition (checker)
 //   --strict            insert entry initializations for non-strict inputs
 //   --run ARG,...       execute every function on the integer args
@@ -62,7 +65,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s --socket=PATH [--jobs=N] [--cache-bytes=N]\n"
       "       [--max-queue=N] [--pipeline=new|standard|briggs|briggs*]\n"
-      "       [--machine=uniformN|dsp|embedded]\n"
+      "       [--machine=uniformN|dsp|embedded] [--passes=sccp,adce,pre]\n"
       "       [--check] [--strict] [--run ARG,...] [--max-instructions=N]\n"
       "       [--quiet]\n",
       Argv0);
@@ -120,6 +123,14 @@ bool parseArgs(int Argc, char **Argv, Server::Options &Opts, bool &Quiet) {
         return false;
       }
       Opts.Service.Machine = std::move(MM);
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--passes="));
+      std::string BadToken;
+      if (!parsePassSequence(Name, Opts.Service.Passes, &BadToken)) {
+        std::fprintf(stderr, "unknown pass '%s' (known passes: %s)\n",
+                     BadToken.c_str(), knownPassNames());
+        return false;
+      }
     } else if (Arg == "--check") {
       Opts.Service.CheckPartition = true;
     } else if (Arg == "--strict") {
@@ -165,6 +176,14 @@ int main(int Argc, char **Argv) {
   if (Opts.Service.CheckPartition &&
       Opts.Service.Pipeline != PipelineKind::New) {
     std::fprintf(stderr, "--check requires --pipeline=new\n");
+    return 2;
+  }
+  if (!Opts.Service.Passes.empty() &&
+      (Opts.Service.Pipeline == PipelineKind::Briggs ||
+       Opts.Service.Pipeline == PipelineKind::BriggsImproved)) {
+    std::fprintf(stderr,
+                 "--passes is not supported with the Briggs pipelines "
+                 "(live-range webs assume unoptimized SSA)\n");
     return 2;
   }
 
